@@ -1,0 +1,90 @@
+//! Figure-regeneration bench target: running `cargo bench -p sli-bench`
+//! reproduces every evaluation figure of the paper at a bench-friendly
+//! scale and prints the same series the paper plots.
+//!
+//! For publication-scale runs use the standalone harness binary
+//! (`cargo run --release -p sli-harness -- all`) with larger
+//! `SLI_MEASURE_MS` / dataset knobs; this target defaults to reduced
+//! datasets and windows so a full `cargo bench` stays in the minutes range.
+//! Every default can still be overridden through the same environment
+//! variables.
+
+use sli_harness::figures;
+use sli_harness::ExperimentScale;
+
+fn default_env(name: &str, value: &str) {
+    if std::env::var_os(name).is_none() {
+        std::env::set_var(name, value);
+    }
+}
+
+fn main() {
+    // Bench-friendly defaults (override via environment).
+    default_env("SLI_TM1_SUBS", "30000");
+    default_env("SLI_TPCB_BRANCHES", "32");
+    default_env("SLI_TPCB_ACCOUNTS", "500");
+    default_env("SLI_TPCC_WAREHOUSES", "8");
+    default_env("SLI_TPCC_CUSTOMERS", "200");
+    default_env("SLI_TPCC_ITEMS", "2000");
+    default_env("SLI_TPCC_ORDERS", "100");
+    default_env("SLI_MEASURE_MS", "250");
+    default_env("SLI_WARMUP_MS", "100");
+
+    // `cargo bench` passes flags like `--bench`; accept an optional figure
+    // filter as the first non-flag argument.
+    let filter: Option<String> = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'));
+
+    let scale = ExperimentScale::from_env();
+    eprintln!(
+        "figure benches: tm1={} tpcc W={} agents<={} window={}ms (override via SLI_* env)",
+        scale.tm1_subscribers,
+        scale.tpcc.warehouses,
+        scale.max_agents,
+        scale.measure.as_millis()
+    );
+
+    let all: &[(&str, fn(&ExperimentScale))] = &[
+        ("fig1", |s| {
+            figures::fig1(s);
+        }),
+        ("fig5", |s| {
+            figures::fig5(s);
+        }),
+        ("fig6", |s| {
+            figures::fig6(s);
+        }),
+        ("fig7", |s| {
+            figures::fig7(s);
+        }),
+        ("fig8", |s| {
+            figures::fig8(s);
+        }),
+        ("fig9", |s| {
+            figures::fig9(s);
+        }),
+        ("fig10", |s| {
+            figures::fig10(s);
+        }),
+        ("fig11", |s| {
+            figures::fig11(s);
+        }),
+        ("ablation-criteria", |s| {
+            figures::ablation_criteria(s);
+        }),
+        ("bimodal", |s| {
+            figures::bimodal(s);
+        }),
+        ("roving-hotspot", |s| {
+            figures::roving_hotspot(s);
+        }),
+    ];
+    for (name, f) in all {
+        if filter.as_deref().is_none_or(|flt| name.contains(flt)) {
+            let t0 = std::time::Instant::now();
+            f(&scale);
+            eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # sli-bench — benchmark targets for the SLI reproduction.
+//!
+//! This crate hosts two kinds of benchmarks (see `benches/`):
+//!
+//! * Criterion microbenchmarks of the lock manager's hot paths
+//!   (`micro_lockmgr`): acquire/release round trips, the SLI reclaim CAS
+//!   versus a full lock-manager acquire, hash-table probes, and latch
+//!   acquisition.
+//! * One figure-regeneration bench per evaluation figure of the paper
+//!   (`fig1` … `fig11`, `harness = false`), each printing the same series
+//!   the paper plots. Scale via `SLI_BENCH_SECONDS` / `SLI_BENCH_MAX_AGENTS`
+//!   environment variables.
+
+/// Read an environment knob with a default, for bench scaling.
+pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,154 @@
+//! Configuration for the lock manager and SLI.
+
+use std::time::Duration;
+
+use crate::id::LockLevel;
+
+/// Tuning knobs for Speculative Lock Inheritance.
+///
+/// The defaults implement exactly the paper's five criteria (Section 4.2);
+/// the boolean overrides exist for the ablation experiments (`abl1` in
+/// DESIGN.md) that disable one criterion at a time.
+#[derive(Clone, Debug)]
+pub struct SliConfig {
+    /// Master switch. `false` gives the unmodified baseline lock manager.
+    pub enabled: bool,
+    /// Criterion 2: a lock is "hot" when at least this fraction of the most
+    /// recent [`SliConfig::hot_window`] latch acquisitions on its lock head
+    /// contended. The paper calls this "a tunable threshold".
+    pub hot_threshold: f64,
+    /// Size of the hot-tracking shift register, in acquisitions (max 16).
+    pub hot_window: u32,
+    /// Criterion 1: only inherit locks at this level or coarser.
+    pub min_level: LockLevel,
+    /// Criterion 3: require a shared mode (S/IS/IX). Disabling this is
+    /// unsafe for consistency and exists only to demonstrate *why* the
+    /// criterion exists; the ablation harness uses read-only workloads with
+    /// it.
+    pub require_shared_mode: bool,
+    /// Criterion 4: skip inheritance when another transaction waits on the
+    /// lock.
+    pub require_no_waiters: bool,
+    /// Criterion 5: only inherit when the parent lock is inherited too.
+    pub require_parent: bool,
+    /// Section 4.4 option 2: keep inheriting a lock for this many
+    /// consecutive unused generations before giving up (0 = drop immediately
+    /// after one unused pass, the paper's default "do nothing" behaviour).
+    pub hysteresis: u32,
+    /// Cap on how many locks a single commit may pass on. Bounds the size of
+    /// agent inherited lists in pathological workloads.
+    pub max_inherited_per_txn: usize,
+}
+
+impl Default for SliConfig {
+    fn default() -> Self {
+        SliConfig {
+            enabled: true,
+            hot_threshold: 0.25,
+            hot_window: 16,
+            min_level: LockLevel::Page,
+            require_shared_mode: true,
+            require_no_waiters: true,
+            require_parent: true,
+            hysteresis: 0,
+            max_inherited_per_txn: 64,
+        }
+    }
+}
+
+impl SliConfig {
+    /// A baseline configuration with SLI disabled.
+    pub fn disabled() -> Self {
+        SliConfig {
+            enabled: false,
+            ..SliConfig::default()
+        }
+    }
+}
+
+/// Deadlock handling strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlockPolicy {
+    /// Dreadlocks-style digest propagation (Shore-MT's approach): waiting
+    /// threads publish the set of agents they transitively wait on; a thread
+    /// that finds itself in its own digest aborts.
+    Dreadlocks,
+    /// Rely on lock timeouts only.
+    TimeoutOnly,
+}
+
+/// Configuration for the lock manager.
+#[derive(Clone, Debug)]
+pub struct LockManagerConfig {
+    /// Number of hash buckets in the lock table (rounded up to a power of
+    /// two).
+    pub buckets: usize,
+    /// Upper bound on concurrently registered agent threads (sizes the
+    /// deadlock digest table).
+    pub max_agents: usize,
+    /// Deadlock strategy.
+    pub deadlock: DeadlockPolicy,
+    /// Give up on a lock wait after this long.
+    pub lock_timeout: Duration,
+    /// How often a blocked thread wakes to run deadlock checks.
+    pub deadlock_poll: Duration,
+    /// SLI knobs.
+    pub sli: SliConfig,
+}
+
+impl Default for LockManagerConfig {
+    fn default() -> Self {
+        LockManagerConfig {
+            buckets: 4096,
+            max_agents: 256,
+            deadlock: DeadlockPolicy::Dreadlocks,
+            lock_timeout: Duration::from_secs(2),
+            deadlock_poll: Duration::from_micros(500),
+            sli: SliConfig::default(),
+        }
+    }
+}
+
+impl LockManagerConfig {
+    /// Baseline configuration (SLI off), otherwise defaults.
+    pub fn baseline() -> Self {
+        LockManagerConfig {
+            sli: SliConfig::disabled(),
+            ..LockManagerConfig::default()
+        }
+    }
+
+    /// Configuration with SLI on, otherwise defaults.
+    pub fn with_sli() -> Self {
+        LockManagerConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_encode_paper_criteria() {
+        let c = SliConfig::default();
+        assert!(c.enabled);
+        assert_eq!(c.min_level, LockLevel::Page);
+        assert!(c.require_shared_mode);
+        assert!(c.require_no_waiters);
+        assert!(c.require_parent);
+        assert_eq!(c.hysteresis, 0);
+    }
+
+    #[test]
+    fn disabled_turns_off_only_the_master_switch() {
+        let c = SliConfig::disabled();
+        assert!(!c.enabled);
+        assert!(c.require_parent);
+    }
+
+    #[test]
+    fn baseline_vs_sli_configs() {
+        assert!(!LockManagerConfig::baseline().sli.enabled);
+        assert!(LockManagerConfig::with_sli().sli.enabled);
+    }
+}

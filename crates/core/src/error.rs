@@ -1,0 +1,92 @@
+//! Error types for the lock and transaction managers.
+
+use crate::id::LockId;
+use crate::mode::LockMode;
+
+/// Why a lock request or transaction failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// The requester was chosen as a deadlock victim; the transaction must
+    /// abort and release its locks.
+    Deadlock {
+        /// The lock being waited for when the cycle was detected.
+        waiting_for: LockId,
+        /// The mode that was requested.
+        mode: LockMode,
+    },
+    /// The request waited longer than the configured lock timeout.
+    Timeout {
+        /// The lock being waited for.
+        waiting_for: LockId,
+        /// The mode that was requested.
+        mode: LockMode,
+    },
+    /// The transaction was already aborted (e.g. by an earlier error) and
+    /// may not acquire further locks.
+    TxnAborted,
+    /// More agents were registered than `max_agents` allows.
+    TooManyAgents {
+        /// The configured capacity.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Deadlock { waiting_for, mode } => {
+                write!(f, "deadlock detected waiting for {mode} on {waiting_for}")
+            }
+            LockError::Timeout { waiting_for, mode } => {
+                write!(f, "timed out waiting for {mode} on {waiting_for}")
+            }
+            LockError::TxnAborted => write!(f, "transaction already aborted"),
+            LockError::TooManyAgents { max } => {
+                write!(f, "agent capacity exceeded (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl LockError {
+    /// True for errors that should abort the transaction and may be retried
+    /// from the top (deadlocks and timeouts).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, LockError::Deadlock { .. } | LockError::Timeout { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TableId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LockError::Deadlock {
+            waiting_for: LockId::Table(TableId(1)),
+            mode: LockMode::X,
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains('X'));
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(LockError::Deadlock {
+            waiting_for: LockId::Database,
+            mode: LockMode::S
+        }
+        .is_retryable());
+        assert!(LockError::Timeout {
+            waiting_for: LockId::Database,
+            mode: LockMode::S
+        }
+        .is_retryable());
+        assert!(!LockError::TxnAborted.is_retryable());
+        assert!(!LockError::TooManyAgents { max: 4 }.is_retryable());
+    }
+}

@@ -1,0 +1,148 @@
+//! Hot-lock detection.
+//!
+//! Section 4.2: "We detect a 'hot' lock by tracking what fraction of the
+//! most recent several acquires encountered latch contention and enabling
+//! SLI when the ratio crosses a tunable threshold." Each lock head embeds a
+//! [`HotTracker`]: a 16-bit shift register of per-acquire contention bits,
+//! updated with relaxed atomics so it adds no synchronization to the latch
+//! path it is observing.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sliding window of latch-contention outcomes for one lock head.
+#[derive(Debug, Default)]
+pub struct HotTracker {
+    /// Low 16 bits: shift register (bit set = that acquire contended).
+    /// Bits 16..21: number of acquires observed so far, saturating at the
+    /// window size, so a brand-new lock isn't "hot" after one sample.
+    state: AtomicU32,
+}
+
+const WINDOW_MAX: u32 = 16;
+const COUNT_SHIFT: u32 = 16;
+
+impl HotTracker {
+    /// New tracker with an empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the contention outcome of one latch acquisition.
+    #[inline]
+    pub fn record(&self, contended: bool) {
+        // A racy read-modify-write is acceptable: dropping one sample under
+        // contention biases *toward* detecting heat, which is exactly when
+        // samples race.
+        let cur = self.state.load(Ordering::Relaxed);
+        let bits = (cur & 0xFFFF) << 1 | contended as u32;
+        let count = ((cur >> COUNT_SHIFT) + 1).min(WINDOW_MAX);
+        self.state.store(
+            (count << COUNT_SHIFT) | (bits & 0xFFFF),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Fraction of the last `window` acquisitions that contended, in
+    /// `[0, 1]`. Returns 0 until at least `window` samples accumulated.
+    #[inline]
+    pub fn ratio(&self, window: u32) -> f64 {
+        let window = window.clamp(1, WINDOW_MAX);
+        let cur = self.state.load(Ordering::Relaxed);
+        let count = cur >> COUNT_SHIFT;
+        if count < window {
+            return 0.0;
+        }
+        let mask = if window == 32 { u32::MAX } else { (1 << window) - 1 };
+        let set = (cur & 0xFFFF & mask).count_ones();
+        set as f64 / window as f64
+    }
+
+    /// Whether the lock qualifies as hot for the given SLI settings.
+    #[inline]
+    pub fn is_hot(&self, threshold: f64, window: u32) -> bool {
+        self.ratio(window) >= threshold
+    }
+
+    /// Reset the window (used by tests and the roving-hotspot experiment).
+    pub fn clear(&self) {
+        self.state.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_until_window_fills() {
+        let t = HotTracker::new();
+        for _ in 0..15 {
+            t.record(true);
+        }
+        assert_eq!(t.ratio(16), 0.0, "window not yet full");
+        t.record(true);
+        assert_eq!(t.ratio(16), 1.0);
+    }
+
+    #[test]
+    fn ratio_tracks_recent_mix() {
+        let t = HotTracker::new();
+        for _ in 0..16 {
+            t.record(false);
+        }
+        assert_eq!(t.ratio(16), 0.0);
+        for _ in 0..8 {
+            t.record(true);
+        }
+        assert!((t.ratio(16) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_samples_age_out() {
+        let t = HotTracker::new();
+        for _ in 0..16 {
+            t.record(true);
+        }
+        assert!(t.is_hot(0.5, 16));
+        // A long quiet spell cools the lock back down: "SLI has a short
+        // memory" (Section 4.4).
+        for _ in 0..16 {
+            t.record(false);
+        }
+        assert!(!t.is_hot(0.1, 16));
+        assert_eq!(t.ratio(16), 0.0);
+    }
+
+    #[test]
+    fn smaller_windows_react_faster() {
+        let t = HotTracker::new();
+        for _ in 0..16 {
+            t.record(false);
+        }
+        for _ in 0..4 {
+            t.record(true);
+        }
+        assert_eq!(t.ratio(4), 1.0);
+        assert!(t.ratio(16) < 0.5);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = HotTracker::new();
+        for _ in 0..16 {
+            t.record(true);
+        }
+        t.clear();
+        assert_eq!(t.ratio(16), 0.0);
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        let t = HotTracker::new();
+        for i in 0..16 {
+            t.record(i % 4 == 0); // 4/16 = 0.25
+        }
+        assert!(t.is_hot(0.25, 16));
+        assert!(!t.is_hot(0.26, 16));
+    }
+}

@@ -1,0 +1,193 @@
+//! The lock manager's hash table of lock heads.
+//!
+//! "...the manager probes an internal hash table to find the desired lock
+//! head" (Section 3.2). Buckets are individually latched (Shore-MT's
+//! fine-grained synchronization); lock heads are reference counted and
+//! removed from their bucket once their queues drain, using a `zombie` flag
+//! to invalidate stale references held by concurrent probers.
+
+use std::sync::Arc;
+
+use sli_latch::Latched;
+use sli_profiler::Component;
+
+use crate::head::LockHead;
+use crate::id::LockId;
+
+struct Bucket {
+    heads: Vec<Arc<LockHead>>,
+}
+
+/// Fixed-size, per-bucket-latched hash table mapping [`LockId`]s to
+/// [`LockHead`]s.
+pub struct LockTable {
+    buckets: Box<[Latched<Bucket>]>,
+    mask: u64,
+}
+
+impl LockTable {
+    /// Create a table with at least `buckets` buckets (rounded up to a power
+    /// of two).
+    pub fn new(buckets: usize) -> Self {
+        let n = buckets.next_power_of_two().max(16);
+        let buckets = (0..n)
+            .map(|_| {
+                Latched::new(
+                    Component::LockManager,
+                    Bucket {
+                        heads: Vec::new(),
+                    },
+                )
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LockTable {
+            buckets,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, id: LockId) -> &Latched<Bucket> {
+        &self.buckets[(id.hash64() & self.mask) as usize]
+    }
+
+    /// Find the lock head for `id`, creating it if absent.
+    ///
+    /// The returned head may race with [`LockTable::remove_if_empty`];
+    /// callers must re-check `zombie` after latching the head's queue and
+    /// retry the probe if set.
+    pub fn get_or_create(&self, id: LockId) -> Arc<LockHead> {
+        let mut b = self.bucket(id).lock();
+        if let Some(h) = b.heads.iter().find(|h| h.id() == id) {
+            return Arc::clone(h);
+        }
+        let head = LockHead::new(id);
+        b.heads.push(Arc::clone(&head));
+        head
+    }
+
+    /// Find the lock head for `id` without creating it.
+    pub fn get(&self, id: LockId) -> Option<Arc<LockHead>> {
+        let b = self.bucket(id).lock();
+        b.heads.iter().find(|h| h.id() == id).cloned()
+    }
+
+    /// Unlink `head` from its bucket if its queue is empty, marking it
+    /// zombie so concurrent holders of the `Arc` retry their probe.
+    /// Returns true if removed.
+    pub fn remove_if_empty(&self, head: &Arc<LockHead>) -> bool {
+        let mut b = self.bucket(head.id()).lock();
+        // Latch order: bucket -> head. Probers never hold the bucket latch
+        // while latching a head, so this cannot deadlock.
+        let mut q = head.latch_untracked();
+        if !q.is_empty() || q.zombie {
+            return false;
+        }
+        q.zombie = true;
+        drop(q);
+        let before = b.heads.len();
+        b.heads.retain(|h| !Arc::ptr_eq(h, head));
+        debug_assert_eq!(b.heads.len() + 1, before);
+        true
+    }
+
+    /// Number of live lock heads (diagnostics; takes every bucket latch).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().heads.len()).sum()
+    }
+
+    /// True when no lock heads exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TableId;
+    use crate::mode::LockMode;
+    use crate::request::LockRequest;
+    use crate::stats::LockStats;
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let t = LockTable::new(64);
+        let a = t.get_or_create(LockId::Table(TableId(1)));
+        let b = t.get_or_create(LockId::Table(TableId(1)));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_ids_get_distinct_heads() {
+        let t = LockTable::new(64);
+        let a = t.get_or_create(LockId::Page(TableId(1), 0));
+        let b = t.get_or_create(LockId::Page(TableId(1), 1));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_create() {
+        let t = LockTable::new(64);
+        assert!(t.get(LockId::Database).is_none());
+        t.get_or_create(LockId::Database);
+        assert!(t.get(LockId::Database).is_some());
+    }
+
+    #[test]
+    fn empty_heads_are_removed_and_zombied() {
+        let t = LockTable::new(64);
+        let h = t.get_or_create(LockId::Table(TableId(9)));
+        assert!(t.remove_if_empty(&h));
+        assert_eq!(t.len(), 0);
+        assert!(h.latch_untracked().zombie);
+        // A new probe creates a fresh head.
+        let h2 = t.get_or_create(LockId::Table(TableId(9)));
+        assert!(!Arc::ptr_eq(&h, &h2));
+    }
+
+    #[test]
+    fn nonempty_heads_are_not_removed() {
+        let t = LockTable::new(64);
+        let stats = LockStats::new();
+        let h = t.get_or_create(LockId::Table(TableId(2)));
+        let req = Arc::new(LockRequest::new_granted(
+            LockId::Table(TableId(2)),
+            0,
+            1,
+            LockMode::IS,
+        ));
+        h.latch().push_granted(req.clone());
+        assert!(!t.remove_if_empty(&h));
+        assert_eq!(t.len(), 1);
+        h.latch().release(&req, &stats);
+        assert!(t.remove_if_empty(&h));
+    }
+
+    #[test]
+    fn concurrent_probes_converge_on_one_head() {
+        let t = Arc::new(LockTable::new(16));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut ptrs = Vec::new();
+                for i in 0..100u32 {
+                    ptrs.push(Arc::as_ptr(&t.get_or_create(LockId::Page(TableId(1), i % 4))) as usize);
+                }
+                ptrs
+            }));
+        }
+        let all: Vec<Vec<usize>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // For each of the 4 ids, every thread must have seen the same head.
+        for k in 0..4 {
+            let firsts: std::collections::HashSet<usize> =
+                all.iter().map(|v| v[k]).collect();
+            assert_eq!(firsts.len(), 1);
+        }
+        assert_eq!(t.len(), 4);
+    }
+}

@@ -1,0 +1,1220 @@
+//! The database lock manager, with Speculative Lock Inheritance.
+//!
+//! The acquire path follows Section 3.2: ensure intention locks on
+//! ancestors (automatically), then probe the hash table, latch the lock
+//! head, and either grant immediately or enqueue and block. The release
+//! path at commit runs SLI's candidate selection (Section 4.2) and either
+//! passes locks to the agent's inherited list or releases them with a
+//! Figure 3 grant pass.
+
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sli_profiler::{Category, Component};
+
+use crate::config::{DeadlockPolicy, LockManagerConfig};
+use crate::deadlock::DigestTable;
+use crate::error::LockError;
+use crate::head::LockHead;
+use crate::htab::LockTable;
+use crate::id::{LockId, LockLevel};
+use crate::mode::LockMode;
+use crate::request::{LockRequest, RequestStatus};
+use crate::sli::{is_inheritance_candidate, AgentSliState};
+use crate::stats::{LockClass, LockStats};
+use crate::txn::TxnLockState;
+
+/// The centralized lock manager.
+pub struct LockManager {
+    config: LockManagerConfig,
+    table: LockTable,
+    digests: DigestTable,
+    stats: LockStats,
+    next_txn: AtomicU64,
+    next_agent: AtomicU32,
+    /// Slots of retired agents, recycled by `register_agent`.
+    free_slots: parking_lot::Mutex<Vec<u32>>,
+}
+
+impl LockManager {
+    /// Create a lock manager.
+    pub fn new(config: LockManagerConfig) -> Arc<Self> {
+        let table = LockTable::new(config.buckets);
+        let digests = DigestTable::new(config.max_agents);
+        Arc::new(LockManager {
+            config,
+            table,
+            digests,
+            stats: LockStats::new(),
+            next_txn: AtomicU64::new(1),
+            next_agent: AtomicU32::new(0),
+            free_slots: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LockManagerConfig {
+        &self.config
+    }
+
+    /// Global lock-manager counters.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Number of live lock heads (diagnostics).
+    pub fn live_lock_heads(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Look up the lock head for `id`, if one exists (diagnostics, tests,
+    /// and the harness's lock-census instrumentation).
+    pub fn head(&self, id: LockId) -> Option<Arc<LockHead>> {
+        self.table.get(id)
+    }
+
+    /// Allocate an agent slot (recycling retired ones). Each agent thread
+    /// registers once and runs transactions serially.
+    pub fn register_agent(&self) -> Result<AgentSliState, LockError> {
+        if let Some(slot) = self.free_slots.lock().pop() {
+            return Ok(AgentSliState::new(slot));
+        }
+        let slot = self.next_agent.fetch_add(1, Ordering::Relaxed);
+        if slot as usize >= self.config.max_agents {
+            return Err(LockError::TooManyAgents {
+                max: self.config.max_agents,
+            });
+        }
+        Ok(AgentSliState::new(slot))
+    }
+
+    /// Start a transaction on `agent`, pre-populating its lock cache with
+    /// the agent's inherited requests (the SLI hand-off).
+    ///
+    /// This is also where the paper's orphan rule is enforced eagerly: an
+    /// inherited lock whose parent is no longer continuously inherited is
+    /// invalidated *before any transaction tries to use it*.
+    pub fn begin(&self, ts: &mut TxnLockState, agent: &mut AgentSliState) {
+        let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        ts.reset(seq);
+        if agent.inherited.is_empty() {
+            return;
+        }
+        let _sli = sli_profiler::enter(Category::Work(Component::Sli));
+        // Validate coarse-to-fine so each child can consult its parent.
+        agent
+            .inherited
+            .sort_by_key(|(r, _)| r.lock_id().level());
+        let entries = std::mem::take(&mut agent.inherited);
+        // Hand-off lists are small (<= max_inherited_per_txn); a linear
+        // scan beats hashing on this hot path.
+        let mut valid: Vec<(LockId, bool)> = Vec::with_capacity(entries.len());
+        for (req, head) in entries {
+            let id = req.lock_id();
+            // A parent that is absent from the hand-off means it was
+            // invalidated and collected earlier: the child is an orphan.
+            let parent_ok = match id.parent() {
+                None => true,
+                Some(p) => valid
+                    .iter()
+                    .find(|(vid, _)| *vid == p)
+                    .map(|(_, ok)| *ok)
+                    .unwrap_or(false),
+            };
+            let st = req.status();
+            if st == RequestStatus::Inherited && parent_ok {
+                valid.push((id, true));
+                ts.cache
+                    .insert(id, (Arc::clone(&req), Arc::clone(&head)));
+                agent.inherited.push((req, head));
+            } else {
+                valid.push((id, false));
+                if st == RequestStatus::Inherited {
+                    // Orphan: invalidate before use.
+                    {
+                        let mut q = head.latch_untracked();
+                        if q.invalidate_inherited(&req) {
+                            self.stats.on_sli_invalidated();
+                            q.grant_pass(&self.stats);
+                        }
+                    }
+                    self.maybe_gc_head(&head);
+                }
+                // Invalid entries were already unlinked by their
+                // invalidator; dropping the Arc completes the GC.
+            }
+        }
+    }
+
+    /// Acquire `mode` on `id` for the transaction, taking intention locks on
+    /// all ancestors automatically.
+    pub fn lock(
+        &self,
+        ts: &mut TxnLockState,
+        agent: &mut AgentSliState,
+        id: LockId,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        if ts.aborted {
+            return Err(LockError::TxnAborted);
+        }
+        let _work = sli_profiler::enter(Category::Work(Component::LockManager));
+        let intent = mode.parent_intent();
+        let (ancestors, n) = id.ancestors_top_down();
+        for &aid in &ancestors[..n] {
+            self.lock_one(ts, agent, aid, intent)?;
+            // Coarse-grain short circuit: a strong ancestor covers the rest.
+            if let Some(held) = ts.held_mode(aid) {
+                if held.covers_child(mode) {
+                    self.stats.on_coverage_hit();
+                    return Ok(());
+                }
+            }
+        }
+        self.lock_one(ts, agent, id, mode)
+    }
+
+    /// Acquire exactly one lock (no hierarchy walk).
+    fn lock_one(
+        &self,
+        ts: &mut TxnLockState,
+        agent: &mut AgentSliState,
+        id: LockId,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        // --- lock-cache fast paths -------------------------------------
+        if let Some((req, head)) = ts.cache.get(&id).cloned() {
+            match req.status() {
+                RequestStatus::Granted | RequestStatus::Converting
+                    if req.txn() == ts.txn_seq =>
+                {
+                    if req.mode().implies(mode) {
+                        self.stats.on_cache_hit();
+                        return Ok(());
+                    }
+                    return self.upgrade(ts, &req, &head, mode);
+                }
+                RequestStatus::Inherited => {
+                    // The SLI fast path: a bare CAS, no latch, no allocation.
+                    let _sli = sli_profiler::enter(Category::Work(Component::Sli));
+                    if req.try_reclaim(ts.txn_seq) {
+                        self.stats.on_sli_reclaimed();
+                        agent.remove(&req);
+                        ts.insert_owned(Arc::clone(&req), head);
+                        drop(_sli);
+                        if req.mode().implies(mode) {
+                            return Ok(());
+                        }
+                        let (_, h) = ts.cache.get(&id).cloned().expect("just inserted");
+                        return self.upgrade(ts, &req, &h, mode);
+                    }
+                    // Lost the race: a conflicting transaction invalidated
+                    // the inheritance. Drop it and any orphaned children,
+                    // then fall through to a normal request.
+                    ts.cache.remove(&id);
+                    agent.remove(&req);
+                    self.invalidate_orphans(ts, agent, id);
+                }
+                RequestStatus::Invalid => {
+                    ts.cache.remove(&id);
+                    agent.remove(&req);
+                    self.invalidate_orphans(ts, agent, id);
+                }
+                _ => {
+                    // Stale entry (e.g. Released); drop it.
+                    ts.cache.remove(&id);
+                }
+            }
+        }
+        self.acquire_fresh(ts, id, mode)
+    }
+
+    /// Invalidate any inherited cache entries whose parent `parent_id` is no
+    /// longer continuously held, maintaining the paper's orphan rule: "Any
+    /// inherited lock 'orphaned' when its parent is invalidated will also be
+    /// invalidated before any transaction tries to use it."
+    fn invalidate_orphans(
+        &self,
+        ts: &mut TxnLockState,
+        agent: &mut AgentSliState,
+        parent_id: LockId,
+    ) {
+        let orphans: Vec<LockId> = ts
+            .cache
+            .iter()
+            .filter(|(cid, (req, _))| {
+                cid.parent() == Some(parent_id) && req.status() == RequestStatus::Inherited
+            })
+            .map(|(cid, _)| *cid)
+            .collect();
+        for oid in orphans {
+            if let Some((req, head)) = ts.cache.remove(&oid) {
+                {
+                    let mut q = head.latch_untracked();
+                    if q.invalidate_inherited(&req) {
+                        self.stats.on_sli_invalidated();
+                    }
+                }
+                agent.remove(&req);
+                self.maybe_gc_head(&head);
+                self.invalidate_orphans(ts, agent, oid);
+            }
+        }
+    }
+
+    /// The normal acquire path: probe, latch, grant-or-wait.
+    fn acquire_fresh(
+        &self,
+        ts: &mut TxnLockState,
+        id: LockId,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        self.stats.on_lock_request();
+        loop {
+            let head = self.table.get_or_create(id);
+            let req;
+            let must_wait;
+            {
+                let mut q = head.latch();
+                if q.zombie {
+                    continue; // raced with head removal; re-probe
+                }
+                if q.waiters == 0 && q.compatible_with_granted(mode, None) {
+                    // Immediate grant.
+                    req = Arc::new(LockRequest::new_granted(
+                        id,
+                        ts.agent_slot,
+                        ts.txn_seq,
+                        mode,
+                    ));
+                    q.push_granted(Arc::clone(&req));
+                    must_wait = false;
+                } else {
+                    // Enqueue FIFO; the grant pass may still admit us (and
+                    // will invalidate inherited blockers if they are the
+                    // only obstacle).
+                    req = Arc::new(LockRequest::new_waiting(
+                        id,
+                        ts.agent_slot,
+                        ts.txn_seq,
+                        mode,
+                    ));
+                    q.push_waiting(Arc::clone(&req));
+                    q.grant_pass(&self.stats);
+                    must_wait = req.status() != RequestStatus::Granted;
+                }
+            }
+            if must_wait {
+                self.wait_for_grant(ts, &head, &req, mode, false)?;
+            }
+            ts.insert_owned(req, head);
+            return Ok(());
+        }
+    }
+
+    /// Upgrade an existing granted request to `sup(current, mode)`.
+    fn upgrade(
+        &self,
+        ts: &mut TxnLockState,
+        req: &Arc<LockRequest>,
+        head: &Arc<LockHead>,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        self.stats.on_upgrade();
+        let must_wait;
+        {
+            let mut q = head.latch();
+            debug_assert!(!q.zombie, "head cannot die while we hold a request");
+            let target = req.mode().supremum(mode);
+            if req.mode() == target {
+                return Ok(());
+            }
+            if q.compatible_with_granted(target, Some(req)) {
+                q.swap_granted_mode(req, target);
+                return Ok(());
+            }
+            q.begin_convert(req, target);
+            // The grant pass handles inherited-only blockers.
+            q.grant_pass(&self.stats);
+            must_wait = req.status() != RequestStatus::Granted;
+        }
+        if must_wait {
+            self.wait_for_grant(ts, head, req, mode, true)?;
+        }
+        Ok(())
+    }
+
+    /// Block until `req` is granted, polling for deadlocks. On error the
+    /// request has been removed from the queue (or the conversion rolled
+    /// back) and the transaction should abort.
+    fn wait_for_grant(
+        &self,
+        ts: &TxnLockState,
+        head: &Arc<LockHead>,
+        req: &Arc<LockRequest>,
+        mode: LockMode,
+        is_convert: bool,
+    ) -> Result<(), LockError> {
+        let _lock_wait = sli_profiler::enter(Category::LockWait);
+        self.stats.on_block();
+        let slot = ts.agent_slot;
+        let deadline = Instant::now() + self.config.lock_timeout;
+        let mut blockers: Vec<u32> = Vec::with_capacity(8);
+        loop {
+            let st = req.wait_for_grant(self.config.deadlock_poll, deadline);
+            if st == RequestStatus::Granted {
+                self.digests.clear(slot);
+                return Ok(());
+            }
+            let timed_out = Instant::now() >= deadline;
+            let mut deadlocked = false;
+            if !timed_out {
+                // Poll: re-run the grant pass (a lock may have been
+                // inherited after we enqueued; the pass invalidates such
+                // blockers), then collect blockers for Dreadlocks.
+                blockers.clear();
+                {
+                    let mut q = head.latch();
+                    q.grant_pass(&self.stats);
+                    if req.status() != RequestStatus::Granted {
+                        q.collect_blockers(req, mode, &mut blockers);
+                    }
+                }
+                if req.status() == RequestStatus::Granted {
+                    self.digests.clear(slot);
+                    return Ok(());
+                }
+                if self.config.deadlock == DeadlockPolicy::Dreadlocks {
+                    deadlocked = self.digests.check_and_publish(slot, &blockers);
+                }
+            }
+            if timed_out || deadlocked {
+                // Victim path: undo the enqueue (or conversion) unless a
+                // grant slipped in while we decided.
+                let granted_late;
+                {
+                    let mut q = head.latch_untracked();
+                    granted_late = req.status() == RequestStatus::Granted;
+                    if !granted_late {
+                        if is_convert {
+                            q.cancel_convert(req);
+                        } else {
+                            q.unlink(req);
+                            req.mark_released();
+                        }
+                        q.grant_pass(&self.stats);
+                    }
+                }
+                self.digests.clear(slot);
+                if granted_late {
+                    return Ok(());
+                }
+                self.maybe_gc_head(head);
+                return if deadlocked {
+                    self.stats.on_deadlock();
+                    Err(LockError::Deadlock {
+                        waiting_for: req.lock_id(),
+                        mode,
+                    })
+                } else {
+                    self.stats.on_timeout();
+                    Err(LockError::Timeout {
+                        waiting_for: req.lock_id(),
+                        mode,
+                    })
+                };
+            }
+        }
+    }
+
+    /// Finish a transaction: run SLI candidate selection (on commit) and
+    /// release or inherit every lock. Also garbage-collects the agent's
+    /// previous inherited list (unused / invalidated entries).
+    pub fn end_txn(&self, ts: &mut TxnLockState, agent: &mut AgentSliState, commit: bool) {
+        let _work = sli_profiler::enter(Category::Work(Component::LockManager));
+        let sli_cfg = &self.config.sli;
+
+        // Phase 1: resolve leftovers from the previous hand-off. Requests
+        // reclaimed by this transaction were already removed; what remains
+        // was never used ("inheritance fails harmlessly") or was
+        // invalidated by a conflicting transaction.
+        if !agent.inherited.is_empty() {
+            let _sli = sli_profiler::enter(Category::Work(Component::Sli));
+            let leftovers = std::mem::take(&mut agent.inherited);
+            for (req, head) in leftovers {
+                match req.status() {
+                    RequestStatus::Invalid => {
+                        // Already unlinked by the invalidator; just drop.
+                    }
+                    RequestStatus::Inherited => {
+                        let unused = req.unused_generations.load(Ordering::Relaxed);
+                        let keep = commit
+                            && sli_cfg.enabled
+                            && (unused as u32) < sli_cfg.hysteresis
+                            && head
+                                .hot()
+                                .is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
+                        if keep {
+                            req.unused_generations.store(unused + 1, Ordering::Relaxed);
+                            agent.inherited.push((req, head));
+                        } else {
+                            self.discard_inherited(&req, &head);
+                        }
+                    }
+                    other => debug_assert!(
+                        false,
+                        "inherited entry in impossible state {other:?}"
+                    ),
+                }
+            }
+        }
+
+        // Phase 2: forward pass — decide inheritance (parents first, so
+        // criterion 5 can consult the parent's decision).
+        let n = ts.requests.len();
+        let mut decisions = vec![false; n];
+        if commit && sli_cfg.enabled {
+            let _sli = sli_profiler::enter(Category::Work(Component::Sli));
+            let mut decided: Vec<(LockId, bool)> = Vec::with_capacity(n.min(64));
+            let mut inherited_count = 0usize;
+            for i in 0..n {
+                let (req, head) = &ts.requests[i];
+                let id = req.lock_id();
+                let mode = req.mode();
+                let parent_ok = id.parent().map(|p| {
+                    decided
+                        .iter()
+                        .find(|(did, _)| *did == p)
+                        .map(|(_, ok)| *ok)
+                        .unwrap_or(false)
+                });
+                let mut inherit = inherited_count < sli_cfg.max_inherited_per_txn
+                    && is_inheritance_candidate(sli_cfg, id, mode, head, parent_ok);
+                // A request that is Converting (shouldn't happen at commit)
+                // or not Granted cannot be inherited.
+                inherit &= req.status() == RequestStatus::Granted;
+                decisions[i] = inherit;
+                // Only page-or-higher locks can be parents; keeping records
+                // out of the index keeps the scan short even for
+                // thousand-lock transactions.
+                if id.level() < LockLevel::Record {
+                    decided.push((id, inherit));
+                }
+                if inherit {
+                    inherited_count += 1;
+                }
+                self.record_census(id, mode, head, parent_ok, inherit);
+            }
+        } else {
+            // Baseline census (Figure 8): classify what SLI *could* target.
+            // The parent criterion is dynamic, so treat it as satisfiable —
+            // parents are walked first and would be inherited with their
+            // children in an SLI run.
+            for (req, head) in &ts.requests {
+                self.record_census(req.lock_id(), req.mode(), head, Some(true), false);
+            }
+        }
+
+        // Phase 3: reverse pass — youngest first, as Shore-MT does, so
+        // children are released before their parents.
+        let entries = std::mem::take(&mut ts.requests);
+        for (i, (req, head)) in entries.into_iter().enumerate().rev() {
+            if decisions[i] {
+                let ok = req.begin_inheritance();
+                debug_assert!(ok, "request changed state during commit");
+                self.stats.on_sli_inherited();
+                agent.inherited.push((req, head));
+            } else {
+                self.release_one(&req, &head);
+            }
+        }
+
+        if commit {
+            self.stats.on_commit();
+        } else {
+            self.stats.on_abort();
+        }
+        ts.cache.clear();
+        ts.aborted = false;
+    }
+
+    /// Retire an agent: release everything still parked on it and recycle
+    /// its slot. Must be called before the agent thread exits, or its
+    /// inherited locks would linger until invalidated.
+    pub fn retire_agent(&self, agent: &mut AgentSliState) {
+        let leftovers = std::mem::take(&mut agent.inherited);
+        for (req, head) in leftovers {
+            if req.status() == RequestStatus::Inherited {
+                self.discard_inherited(&req, &head);
+            }
+        }
+        self.digests.clear(agent.slot());
+        self.free_slots.lock().push(agent.slot());
+    }
+
+    fn record_census(
+        &self,
+        id: LockId,
+        mode: LockMode,
+        head: &LockHead,
+        parent_ok: Option<bool>,
+        inherited: bool,
+    ) {
+        let sli_cfg = &self.config.sli;
+        let hot = head
+            .hot()
+            .is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
+        let class = if hot {
+            let heritable = id.level() <= sli_cfg.min_level
+                && mode.is_shared_for_sli()
+                && head.waiters_hint() == 0
+                && parent_ok.unwrap_or(true);
+            if heritable {
+                LockClass::HotHeritable
+            } else {
+                LockClass::HotNonHeritable
+            }
+        } else if id.level() == LockLevel::Record {
+            LockClass::ColdRow
+        } else {
+            LockClass::ColdHigh
+        };
+        if hot && !inherited && sli_cfg.enabled {
+            self.stats.on_sli_hot_not_inherited();
+        }
+        self.stats.on_census(class);
+    }
+
+    /// Release one granted request and maybe GC its head.
+    fn release_one(&self, req: &Arc<LockRequest>, head: &Arc<LockHead>) {
+        {
+            let mut q = head.latch();
+            if req.status().holds_lock() {
+                q.release(req, &self.stats);
+            }
+        }
+        self.maybe_gc_head(head);
+    }
+
+    /// Release an inherited-but-unused request ("In the worst case a
+    /// transaction ... pays the cost of releasing the lock which the
+    /// previous transaction avoided" — charged to SLI, not the lock
+    /// manager).
+    fn discard_inherited(&self, req: &Arc<LockRequest>, head: &Arc<LockHead>) {
+        {
+            let mut q = head.latch();
+            // Serialized with invalidators by the latch; our own reclaim
+            // cannot race (we are the owning agent).
+            if req.status() == RequestStatus::Inherited {
+                q.release(req, &self.stats);
+                self.stats.on_sli_discarded();
+            }
+        }
+        self.maybe_gc_head(head);
+    }
+
+    /// Remove the lock head from the hash table if its queue drained.
+    fn maybe_gc_head(&self, head: &Arc<LockHead>) {
+        // Opportunistic: peek without latching; remove_if_empty re-checks
+        // under both latches.
+        let empty = {
+            match head.try_latch_untracked() {
+                Some(q) => q.is_empty() && !q.zombie,
+                None => false,
+            }
+        };
+        if empty {
+            self.table.remove_if_empty(head);
+        }
+    }
+}
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager")
+            .field("live_heads", &self.table.len())
+            .field("sli_enabled", &self.config.sli.enabled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TableId;
+    use std::time::Duration;
+
+    fn mgr(sli: bool) -> Arc<LockManager> {
+        let mut cfg = if sli {
+            LockManagerConfig::with_sli()
+        } else {
+            LockManagerConfig::baseline()
+        };
+        cfg.lock_timeout = Duration::from_millis(500);
+        cfg.deadlock_poll = Duration::from_micros(200);
+        LockManager::new(cfg)
+    }
+
+    /// Force a lock head hot by feeding its tracker contended samples.
+    fn heat(m: &LockManager, id: LockId) {
+        let head = m.table.get_or_create(id);
+        for _ in 0..16 {
+            head.hot().record(true);
+        }
+    }
+
+    fn rec(t: u32, p: u32, s: u16) -> LockId {
+        LockId::Record(TableId(t), p, s)
+    }
+
+    #[test]
+    fn hierarchy_is_acquired_automatically() {
+        let m = mgr(false);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 2, 3), LockMode::X).unwrap();
+        assert_eq!(ts.held_mode(LockId::Database), Some(LockMode::IX));
+        assert_eq!(ts.held_mode(LockId::Table(TableId(1))), Some(LockMode::IX));
+        assert_eq!(ts.held_mode(LockId::Page(TableId(1), 2)), Some(LockMode::IX));
+        assert_eq!(ts.held_mode(rec(1, 2, 3)), Some(LockMode::X));
+        assert_eq!(ts.locks_held(), 4);
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(ts.locks_held(), 0);
+        assert_eq!(m.live_lock_heads(), 0, "all heads GCed after release");
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let m = mgr(false);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        let before = m.stats().snapshot();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        let after = m.stats().snapshot();
+        assert_eq!(after.lock_requests, before.lock_requests);
+        assert!(after.cache_hits > before.cache_hits);
+        m.end_txn(&mut ts, &mut agent, true);
+    }
+
+    #[test]
+    fn coarse_lock_covers_children() {
+        let m = mgr(false);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, LockId::Table(TableId(1)), LockMode::S)
+            .unwrap();
+        let before = ts.locks_held();
+        m.lock(&mut ts, &mut agent, rec(1, 5, 5), LockMode::S).unwrap();
+        assert_eq!(ts.locks_held(), before, "covered: no new locks");
+        assert!(m.stats().snapshot().coverage_hits >= 1);
+        m.end_txn(&mut ts, &mut agent, true);
+    }
+
+    #[test]
+    fn upgrade_s_then_x_same_record() {
+        let m = mgr(false);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::X).unwrap();
+        assert_eq!(ts.held_mode(rec(1, 0, 0)), Some(LockMode::X));
+        // Ancestors upgraded IS -> IX as well.
+        assert_eq!(ts.held_mode(LockId::Table(TableId(1))), Some(LockMode::IX));
+        m.end_txn(&mut ts, &mut agent, true);
+    }
+
+    #[test]
+    fn conflicting_x_blocks_until_commit() {
+        let m = mgr(false);
+        let id = rec(1, 0, 0);
+        let mut a1 = m.register_agent().unwrap();
+        let mut ts1 = TxnLockState::new(a1.slot());
+        m.begin(&mut ts1, &mut a1);
+        m.lock(&mut ts1, &mut a1, id, LockMode::X).unwrap();
+
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let mut a2 = m2.register_agent().unwrap();
+            let mut ts2 = TxnLockState::new(a2.slot());
+            m2.begin(&mut ts2, &mut a2);
+            let started = std::time::Instant::now();
+            m2.lock(&mut ts2, &mut a2, rec(1, 0, 0), LockMode::X).unwrap();
+            let waited = started.elapsed();
+            m2.end_txn(&mut ts2, &mut a2, true);
+            waited
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        m.end_txn(&mut ts1, &mut a1, true);
+        let waited = h.join().unwrap();
+        assert!(waited >= Duration::from_millis(30), "waited {waited:?}");
+    }
+
+    #[test]
+    fn sli_inherits_hot_high_level_locks() {
+        let m = mgr(true);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        // Make db/table/page hot before commit.
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        heat(&m, LockId::Page(TableId(1), 0));
+        m.end_txn(&mut ts, &mut agent, true);
+        // db, table, page inherited; record released (criterion 1).
+        assert_eq!(agent.inherited_count(), 3);
+        let snap = m.stats().snapshot();
+        assert_eq!(snap.sli_inherited, 3);
+        assert_eq!(snap.census_hot_heritable, 3);
+        assert_eq!(snap.census_cold_row, 1);
+    }
+
+    #[test]
+    fn sli_reclaim_avoids_lock_manager() {
+        let m = mgr(true);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        heat(&m, LockId::Page(TableId(1), 0));
+        m.end_txn(&mut ts, &mut agent, true);
+
+        let before = m.stats().snapshot();
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 1), LockMode::S).unwrap();
+        let after = m.stats().snapshot();
+        assert_eq!(after.sli_reclaimed - before.sli_reclaimed, 3);
+        // Only the record itself went through the lock manager.
+        assert_eq!(after.lock_requests - before.lock_requests, 1);
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.inherited_count(), 3, "re-inherited");
+    }
+
+    #[test]
+    fn unused_inherited_locks_are_discarded_at_next_commit() {
+        let m = mgr(true);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        heat(&m, LockId::Page(TableId(1), 0));
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.inherited_count(), 3);
+
+        // Next transaction touches a different table entirely.
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(2, 0, 0), LockMode::S).unwrap();
+        m.end_txn(&mut ts, &mut agent, true);
+        let snap = m.stats().snapshot();
+        // db lock was reclaimed (same root); table/page of table 1 discarded.
+        assert_eq!(snap.sli_discarded, 2);
+        assert!(agent.inherited_ids().all(|id| match id {
+            LockId::Table(t) => t == TableId(2),
+            LockId::Page(t, _) => t == TableId(2),
+            LockId::Database => true,
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn conflicting_request_invalidates_inherited_lock() {
+        let m = mgr(true);
+        // Agent 0 inherits an S lock on the table.
+        let mut a0 = m.register_agent().unwrap();
+        let mut ts0 = TxnLockState::new(a0.slot());
+        m.begin(&mut ts0, &mut a0);
+        m.lock(&mut ts0, &mut a0, LockId::Table(TableId(1)), LockMode::S)
+            .unwrap();
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        m.end_txn(&mut ts0, &mut a0, true);
+        assert_eq!(a0.inherited_count(), 2);
+
+        // Agent 1 wants X on the table: the inherited S must be invalidated
+        // without blocking.
+        let mut a1 = m.register_agent().unwrap();
+        let mut ts1 = TxnLockState::new(a1.slot());
+        m.begin(&mut ts1, &mut a1);
+        let t0 = std::time::Instant::now();
+        m.lock(&mut ts1, &mut a1, LockId::Table(TableId(1)), LockMode::X)
+            .unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(100), "should not block");
+        let snap = m.stats().snapshot();
+        assert!(snap.sli_invalidated >= 1);
+        m.end_txn(&mut ts1, &mut a1, true);
+
+        // Agent 0's next transaction finds the invalidated entry and falls
+        // back to a fresh request.
+        m.begin(&mut ts0, &mut a0);
+        m.lock(&mut ts0, &mut a0, LockId::Table(TableId(1)), LockMode::S)
+            .unwrap();
+        assert_eq!(ts0.held_mode(LockId::Table(TableId(1))), Some(LockMode::S));
+        m.end_txn(&mut ts0, &mut a0, true);
+    }
+
+    #[test]
+    fn orphaned_children_are_invalidated_with_parent() {
+        let m = mgr(true);
+        let mut a0 = m.register_agent().unwrap();
+        let mut ts0 = TxnLockState::new(a0.slot());
+        m.begin(&mut ts0, &mut a0);
+        m.lock(&mut ts0, &mut a0, rec(1, 0, 0), LockMode::S).unwrap();
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        heat(&m, LockId::Page(TableId(1), 0));
+        m.end_txn(&mut ts0, &mut a0, true);
+        assert_eq!(a0.inherited_count(), 3);
+
+        // A conflicting X on the *table* invalidates the inherited table
+        // lock (the page lock below it is now an orphan).
+        let mut a1 = m.register_agent().unwrap();
+        let mut ts1 = TxnLockState::new(a1.slot());
+        m.begin(&mut ts1, &mut a1);
+        m.lock(&mut ts1, &mut a1, LockId::Table(TableId(1)), LockMode::X)
+            .unwrap();
+        m.end_txn(&mut ts1, &mut a1, true);
+
+        // Agent 0 re-reads the same record: the orphaned page inheritance
+        // must NOT be reclaimed even though its status is still Inherited.
+        m.begin(&mut ts0, &mut a0);
+        m.lock(&mut ts0, &mut a0, rec(1, 0, 0), LockMode::S).unwrap();
+        assert_eq!(ts0.held_mode(rec(1, 0, 0)), Some(LockMode::S));
+        m.end_txn(&mut ts0, &mut a0, true);
+        // The page entry was invalidated as an orphan rather than reclaimed:
+        let snap = m.stats().snapshot();
+        assert!(snap.sli_invalidated >= 2, "table + orphaned page");
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_one_txn_aborts() {
+        let m = mgr(false);
+        let id_a = rec(1, 0, 0);
+        let id_b = rec(1, 0, 1);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+
+        let spawn = |first: LockId, second: LockId| {
+            let m = Arc::clone(&m);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut agent = m.register_agent().unwrap();
+                let mut ts = TxnLockState::new(agent.slot());
+                m.begin(&mut ts, &mut agent);
+                m.lock(&mut ts, &mut agent, first, LockMode::X).unwrap();
+                barrier.wait();
+                let r = m.lock(&mut ts, &mut agent, second, LockMode::X);
+                m.end_txn(&mut ts, &mut agent, r.is_ok());
+                r
+            })
+        };
+        let h1 = spawn(id_a, id_b);
+        let h2 = spawn(id_b, id_a);
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "at least one victim: {r1:?} {r2:?}"
+        );
+        assert!(
+            r1.is_ok() || r2.is_ok(),
+            "at most one victim in a 2-cycle: {r1:?} {r2:?}"
+        );
+        let snap = m.stats().snapshot();
+        assert!(snap.deadlocks >= 1 || snap.timeouts >= 1);
+    }
+
+    #[test]
+    fn abort_releases_everything_without_inheritance() {
+        let m = mgr(true);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::X).unwrap();
+        heat(&m, LockId::Table(TableId(1)));
+        m.end_txn(&mut ts, &mut agent, false);
+        assert_eq!(agent.inherited_count(), 0);
+        assert_eq!(m.live_lock_heads(), 0);
+        assert_eq!(m.stats().snapshot().aborts, 1);
+    }
+
+    #[test]
+    fn retire_agent_releases_inherited_locks() {
+        let m = mgr(true);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        heat(&m, LockId::Page(TableId(1), 0));
+        m.end_txn(&mut ts, &mut agent, true);
+        assert!(agent.inherited_count() > 0);
+        m.retire_agent(&mut agent);
+        assert_eq!(agent.inherited_count(), 0);
+        assert_eq!(m.live_lock_heads(), 0);
+    }
+
+    #[test]
+    fn sli_disabled_never_inherits() {
+        let m = mgr(false);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        heat(&m, LockId::Page(TableId(1), 0));
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.inherited_count(), 0);
+        assert_eq!(m.stats().snapshot().sli_inherited, 0);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_safe() {
+        let m = mgr(true);
+        let threads = 8;
+        let txns = 200;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let mut agent = m.register_agent().unwrap();
+                let mut ts = TxnLockState::new(agent.slot());
+                let mut committed = 0;
+                for i in 0..txns {
+                    m.begin(&mut ts, &mut agent);
+                    let r1 = m.lock(&mut ts, &mut agent, rec(1, 0, (i % 16) as u16), LockMode::S);
+                    let r2 = if i % 7 == 0 {
+                        m.lock(
+                            &mut ts,
+                            &mut agent,
+                            rec(1, 1, ((i + t) % 16) as u16),
+                            LockMode::X,
+                        )
+                    } else {
+                        Ok(())
+                    };
+                    let ok = r1.is_ok() && r2.is_ok();
+                    m.end_txn(&mut ts, &mut agent, ok);
+                    if ok {
+                        committed += 1;
+                    }
+                }
+                m.retire_agent(&mut agent);
+                committed
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        let snap = m.stats().snapshot();
+        assert_eq!(snap.commits, total);
+        assert_eq!(m.live_lock_heads(), 0, "no leaked lock heads");
+    }
+
+    #[test]
+    fn two_phase_locking_preserves_exclusive_updates() {
+        // Classic lost-update check: X locks serialize read-modify-write.
+        let m = mgr(true);
+        let value = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let threads = 8;
+        let per = 250;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let m = Arc::clone(&m);
+            let value = Arc::clone(&value);
+            handles.push(std::thread::spawn(move || {
+                let mut agent = m.register_agent().unwrap();
+                let mut ts = TxnLockState::new(agent.slot());
+                let mut done = 0;
+                while done < per {
+                    m.begin(&mut ts, &mut agent);
+                    match m.lock(&mut ts, &mut agent, rec(9, 0, 0), LockMode::X) {
+                        Ok(()) => {
+                            let v = value.load(Ordering::Relaxed);
+                            std::hint::spin_loop();
+                            value.store(v + 1, Ordering::Relaxed);
+                            m.end_txn(&mut ts, &mut agent, true);
+                            done += 1;
+                        }
+                        Err(_) => {
+                            m.end_txn(&mut ts, &mut agent, false);
+                        }
+                    }
+                }
+                m.retire_agent(&mut agent);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(value.load(Ordering::Relaxed), threads * per);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::config::{DeadlockPolicy, SliConfig};
+    use crate::id::TableId;
+    use std::time::Duration;
+
+    fn rec(t: u32, s: u16) -> LockId {
+        LockId::Record(TableId(t), 0, s)
+    }
+
+    fn heat(m: &LockManager, id: LockId) {
+        let head = m.table.get_or_create(id);
+        for _ in 0..16 {
+            head.hot().record(true);
+        }
+    }
+
+    #[test]
+    fn timeout_only_policy_resolves_deadlocks_by_timeout() {
+        let mut cfg = LockManagerConfig::baseline();
+        cfg.deadlock = DeadlockPolicy::TimeoutOnly;
+        cfg.lock_timeout = Duration::from_millis(150);
+        let m = LockManager::new(cfg);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let spawn = |first: LockId, second: LockId| {
+            let m = Arc::clone(&m);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut agent = m.register_agent().unwrap();
+                let mut ts = TxnLockState::new(agent.slot());
+                m.begin(&mut ts, &mut agent);
+                m.lock(&mut ts, &mut agent, first, LockMode::X).unwrap();
+                barrier.wait();
+                let r = m.lock(&mut ts, &mut agent, second, LockMode::X);
+                m.end_txn(&mut ts, &mut agent, r.is_ok());
+                m.retire_agent(&mut agent);
+                r
+            })
+        };
+        let h1 = spawn(rec(1, 0), rec(1, 1));
+        let h2 = spawn(rec(1, 1), rec(1, 0));
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        assert!(r1.is_err() || r2.is_err());
+        let failed = if r1.is_err() { r1 } else { r2 };
+        assert!(
+            matches!(failed, Err(LockError::Timeout { .. })),
+            "timeout-only policy must fail with Timeout: {failed:?}"
+        );
+        assert_eq!(m.stats().snapshot().deadlocks, 0);
+    }
+
+    #[test]
+    fn hysteresis_keeps_unused_locks_for_extra_generations() {
+        let mut cfg = LockManagerConfig::with_sli();
+        cfg.sli.hysteresis = 2;
+        let m = LockManager::new(cfg);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        // Inherit table 1's lock chain.
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0), LockMode::S).unwrap();
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        heat(&m, LockId::Page(TableId(1), 0));
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.inherited_count(), 3);
+
+        // Two transactions on a different table: the unused locks survive
+        // (hysteresis 2), though the hot window must stay hot.
+        for _ in 0..2 {
+            heat(&m, LockId::Table(TableId(1)));
+            heat(&m, LockId::Page(TableId(1), 0));
+            m.begin(&mut ts, &mut agent);
+            m.lock(&mut ts, &mut agent, rec(2, 0), LockMode::S).unwrap();
+            heat(&m, LockId::Table(TableId(2)));
+            heat(&m, LockId::Page(TableId(2), 0));
+            m.end_txn(&mut ts, &mut agent, true);
+            assert!(
+                agent.inherited_ids().any(|id| id == LockId::Table(TableId(1))),
+                "table-1 lock dropped too early"
+            );
+        }
+        // Third unused generation exceeds the hysteresis: dropped.
+        heat(&m, LockId::Table(TableId(1)));
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(2, 1), LockMode::S).unwrap();
+        m.end_txn(&mut ts, &mut agent, true);
+        assert!(
+            !agent.inherited_ids().any(|id| id == LockId::Table(TableId(1))),
+            "hysteresis must be bounded"
+        );
+        m.retire_agent(&mut agent);
+    }
+
+    #[test]
+    fn max_inherited_per_txn_caps_the_hand_off() {
+        let mut cfg = LockManagerConfig::with_sli();
+        cfg.sli.max_inherited_per_txn = 2;
+        let m = LockManager::new(cfg);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        // Touch 4 pages of one table: candidates = db, table, 4 pages.
+        for p in 0..4u32 {
+            m.lock(
+                &mut ts,
+                &mut agent,
+                LockId::Record(TableId(1), p, 0),
+                LockMode::S,
+            )
+            .unwrap();
+            heat(&m, LockId::Page(TableId(1), p));
+        }
+        heat(&m, LockId::Database);
+        heat(&m, LockId::Table(TableId(1)));
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.inherited_count(), 2, "cap respected");
+        m.retire_agent(&mut agent);
+    }
+
+    #[test]
+    fn six_mode_acquisition_and_release() {
+        let m = LockManager::new(LockManagerConfig::baseline());
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        // S then IX on the same table -> SIX.
+        m.lock(&mut ts, &mut agent, LockId::Table(TableId(1)), LockMode::S)
+            .unwrap();
+        m.lock(&mut ts, &mut agent, LockId::Table(TableId(1)), LockMode::IX)
+            .unwrap();
+        assert_eq!(
+            ts.held_mode(LockId::Table(TableId(1))),
+            Some(LockMode::SIX)
+        );
+        // SIX covers child reads but not child writes.
+        m.lock(&mut ts, &mut agent, rec(1, 3), LockMode::S).unwrap();
+        assert_eq!(
+            ts.held_mode(rec(1, 3)),
+            None,
+            "S-read under SIX is covered, no record lock taken"
+        );
+        m.lock(&mut ts, &mut agent, rec(1, 4), LockMode::X).unwrap();
+        assert_eq!(ts.held_mode(rec(1, 4)), Some(LockMode::X));
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(m.live_lock_heads(), 0);
+        m.retire_agent(&mut agent);
+    }
+
+    #[test]
+    fn sli_config_default_consistency() {
+        let c = SliConfig::default();
+        assert!(c.hot_window <= 16, "window must fit the shift register");
+    }
+}

@@ -1,0 +1,265 @@
+//! Hierarchical lock modes and their algebra.
+//!
+//! The paper (Section 3.1) lists the four basic hierarchical modes of Gray &
+//! Reuter — S, X, IS, IX — and notes that real engines add more "for
+//! performance reasons". We implement the classic six-mode lattice including
+//! SIX (shared + intention exclusive), which Shore-MT also provides.
+
+/// A database lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LockMode {
+    /// No lock. Identity element of [`LockMode::supremum`].
+    NL = 0,
+    /// Intention share: fine-grained shared locks exist below this object.
+    IS = 1,
+    /// Intention exclusive: fine-grained exclusive locks exist below.
+    IX = 2,
+    /// Share: read this object and, implicitly, all of its children.
+    S = 3,
+    /// Share + intention exclusive: read the whole object while updating
+    /// selected children.
+    SIX = 4,
+    /// Exclusive: update this object and, implicitly, all of its children.
+    X = 5,
+}
+
+/// Number of lock modes (size of the matrices below).
+pub const NUM_MODES: usize = 6;
+
+/// All modes, index order matches the `repr(u8)` discriminants.
+pub const ALL_MODES: [LockMode; NUM_MODES] = [
+    LockMode::NL,
+    LockMode::IS,
+    LockMode::IX,
+    LockMode::S,
+    LockMode::SIX,
+    LockMode::X,
+];
+
+/// Gray–Reuter compatibility matrix. `COMPAT[a][b]` is true when a request
+/// for mode `a` can be granted while another transaction holds mode `b`.
+const COMPAT: [[bool; NUM_MODES]; NUM_MODES] = {
+    const T: bool = true;
+    const F: bool = false;
+    [
+        //        NL  IS  IX  S   SIX X
+        /* NL  */ [T, T, T, T, T, T],
+        /* IS  */ [T, T, T, T, T, F],
+        /* IX  */ [T, T, T, F, F, F],
+        /* S   */ [T, T, F, T, F, F],
+        /* SIX */ [T, T, F, F, F, F],
+        /* X   */ [T, F, F, F, F, F],
+    ]
+};
+
+/// Least upper bound in the mode lattice: the weakest single mode at least
+/// as strong as both operands. Used for lock upgrades (e.g. the Figure 3
+/// `IS => IX` conversion, or `S + IX = SIX`).
+const SUPREMUM: [[LockMode; NUM_MODES]; NUM_MODES] = {
+    use LockMode::*;
+    [
+        //         NL   IS   IX   S    SIX  X
+        /* NL  */ [NL, IS, IX, S, SIX, X],
+        /* IS  */ [IS, IS, IX, S, SIX, X],
+        /* IX  */ [IX, IX, IX, SIX, SIX, X],
+        /* S   */ [S, S, SIX, S, SIX, X],
+        /* SIX */ [SIX, SIX, SIX, SIX, SIX, X],
+        /* X   */ [X, X, X, X, X, X],
+    ]
+};
+
+impl LockMode {
+    /// True when `self` can be granted alongside an already-granted `other`.
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        COMPAT[self as usize][other as usize]
+    }
+
+    /// Least upper bound of the two modes.
+    #[inline]
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        SUPREMUM[self as usize][other as usize]
+    }
+
+    /// True when `self` is at least as strong as `other`
+    /// (i.e. `sup(self, other) == self`).
+    #[inline]
+    pub fn implies(self, other: LockMode) -> bool {
+        self.supremum(other) == self
+    }
+
+    /// The intention mode a transaction must hold on every *ancestor* of an
+    /// object before locking the object in `self` mode (Section 3.1).
+    #[inline]
+    pub fn parent_intent(self) -> LockMode {
+        match self {
+            LockMode::NL => LockMode::NL,
+            LockMode::IS | LockMode::S => LockMode::IS,
+            LockMode::IX | LockMode::SIX | LockMode::X => LockMode::IX,
+        }
+    }
+
+    /// Whether holding `self` on an ancestor already *covers* a descendant
+    /// access in `child` mode, making the fine-grained lock unnecessary
+    /// ("If an appropriate coarse-grained lock is found the request can be
+    /// granted immediately", Section 3.2).
+    #[inline]
+    pub fn covers_child(self, child: LockMode) -> bool {
+        match self {
+            // S implicitly holds S on all children.
+            LockMode::S | LockMode::SIX => matches!(child, LockMode::NL | LockMode::IS | LockMode::S),
+            // X implicitly holds X on all children.
+            LockMode::X => true,
+            _ => child == LockMode::NL,
+        }
+    }
+
+    /// The paper's SLI criterion 3: heritable locks are held "in a shared
+    /// mode (e.g. S, IS, IX)". IX counts because it only *announces*
+    /// fine-grained exclusives; the coarse object itself is shared.
+    #[inline]
+    pub fn is_shared_for_sli(self) -> bool {
+        matches!(self, LockMode::S | LockMode::IS | LockMode::IX)
+    }
+
+    /// True for the pure intention modes.
+    #[inline]
+    pub fn is_intent(self) -> bool {
+        matches!(self, LockMode::IS | LockMode::IX)
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockMode::NL => "NL",
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::X => "X",
+        }
+    }
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in ALL_MODES {
+            for b in ALL_MODES {
+                assert_eq!(
+                    a.compatible(b),
+                    b.compatible(a),
+                    "compat({a},{b}) asymmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supremum_is_commutative_and_idempotent() {
+        for a in ALL_MODES {
+            assert_eq!(a.supremum(a), a);
+            for b in ALL_MODES {
+                assert_eq!(a.supremum(b), b.supremum(a));
+            }
+        }
+    }
+
+    #[test]
+    fn supremum_is_associative() {
+        for a in ALL_MODES {
+            for b in ALL_MODES {
+                for c in ALL_MODES {
+                    assert_eq!(a.supremum(b).supremum(c), a.supremum(b.supremum(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nl_is_identity() {
+        for a in ALL_MODES {
+            assert_eq!(a.supremum(NL), a);
+            assert!(a.compatible(NL));
+        }
+    }
+
+    #[test]
+    fn stronger_modes_conflict_with_more() {
+        // If sup(a,b)=a (a stronger), then anything incompatible with b that
+        // is compatible with a would violate lattice monotonicity.
+        for a in ALL_MODES {
+            for b in ALL_MODES {
+                if a.implies(b) {
+                    for c in ALL_MODES {
+                        if !c.compatible(b) {
+                            assert!(
+                                !c.compatible(a),
+                                "{c} compat with stronger {a} but not weaker {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_examples() {
+        // Figure 3's upgrade: IS => IX.
+        assert_eq!(IS.supremum(IX), IX);
+        // Classic: S + IX = SIX.
+        assert_eq!(S.supremum(IX), SIX);
+        // Intent locks are mutually compatible — the whole premise of SLI.
+        assert!(IS.compatible(IX));
+        assert!(IX.compatible(IX));
+        // ...but X conflicts with everything.
+        for m in [IS, IX, S, SIX, X] {
+            assert!(!X.compatible(m));
+        }
+    }
+
+    #[test]
+    fn parent_intents() {
+        assert_eq!(S.parent_intent(), IS);
+        assert_eq!(IS.parent_intent(), IS);
+        assert_eq!(X.parent_intent(), IX);
+        assert_eq!(IX.parent_intent(), IX);
+        assert_eq!(SIX.parent_intent(), IX);
+    }
+
+    #[test]
+    fn coverage_rules() {
+        assert!(S.covers_child(S));
+        assert!(S.covers_child(IS));
+        assert!(!S.covers_child(X));
+        assert!(!S.covers_child(IX));
+        assert!(X.covers_child(X));
+        assert!(X.covers_child(S));
+        assert!(SIX.covers_child(S));
+        assert!(!SIX.covers_child(IX));
+        assert!(!IS.covers_child(S));
+        assert!(!IX.covers_child(IX));
+    }
+
+    #[test]
+    fn sli_shared_modes_match_paper() {
+        assert!(S.is_shared_for_sli());
+        assert!(IS.is_shared_for_sli());
+        assert!(IX.is_shared_for_sli());
+        assert!(!SIX.is_shared_for_sli());
+        assert!(!X.is_shared_for_sli());
+        assert!(!NL.is_shared_for_sli());
+    }
+}

@@ -1,0 +1,287 @@
+//! Agent-side Speculative Lock Inheritance state.
+//!
+//! "During the lock release phase of transaction commit, the transaction's
+//! agent thread identifies promising candidate locks and places them in a
+//! thread-local lock list instead of releasing them. It then initializes the
+//! next transaction's lock list with these previously acquired locks hoping
+//! that the new transaction will use some of them." (Section 4)
+//!
+//! [`AgentSliState`] is that thread-local list. The inheritance decision
+//! logic itself lives in [`crate::LockManager::end_txn`]; this module holds
+//! the state and the criteria predicate so ablation experiments can probe it
+//! directly.
+
+use std::sync::Arc;
+
+use crate::config::SliConfig;
+use crate::head::LockHead;
+use crate::id::LockId;
+use crate::mode::LockMode;
+use crate::request::LockRequest;
+use crate::txn::Entry;
+
+/// Thread-local inherited-lock list for one agent thread.
+pub struct AgentSliState {
+    slot: u32,
+    pub(crate) inherited: Vec<Entry>,
+}
+
+impl AgentSliState {
+    /// State for agent `slot` with an empty inherited list.
+    pub fn new(slot: u32) -> Self {
+        AgentSliState {
+            slot,
+            inherited: Vec::with_capacity(16),
+        }
+    }
+
+    /// The agent's slot (identity for deadlock digests).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Number of requests currently parked on this agent.
+    pub fn inherited_count(&self) -> usize {
+        self.inherited.len()
+    }
+
+    /// Remove a specific request (it was reclaimed or invalidated).
+    pub(crate) fn remove(&mut self, req: &Arc<LockRequest>) {
+        if let Some(pos) = self
+            .inherited
+            .iter()
+            .position(|(r, _)| Arc::ptr_eq(r, req))
+        {
+            self.inherited.swap_remove(pos);
+        }
+    }
+
+    /// Iterate over currently inherited lock ids (diagnostics/tests).
+    pub fn inherited_ids(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.inherited.iter().map(|(r, _)| r.lock_id())
+    }
+}
+
+impl std::fmt::Debug for AgentSliState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentSliState")
+            .field("slot", &self.slot)
+            .field("inherited", &self.inherited.len())
+            .finish()
+    }
+}
+
+/// Evaluate the paper's five inheritance criteria (Section 4.2) for one
+/// granted lock at commit time.
+///
+/// * `parent_inherited` — whether the lock's parent was selected for
+///   inheritance in the same pass (`None` for the hierarchy root).
+///
+/// Criterion 2 (hotness) is evaluated against the lock head's contention
+/// window; the remaining criteria are structural. Each criterion can be
+/// disabled through [`SliConfig`] for the ablation experiments.
+pub fn is_inheritance_candidate(
+    cfg: &SliConfig,
+    id: LockId,
+    mode: LockMode,
+    head: &LockHead,
+    parent_inherited: Option<bool>,
+) -> bool {
+    if !cfg.enabled {
+        return false;
+    }
+    // 1. "The lock is page-level or higher in the hierarchy."
+    if id.level() > cfg.min_level {
+        return false;
+    }
+    // 2. "The lock is 'hot' (i.e. contention for the latch protecting it)."
+    if !head.hot().is_hot(cfg.hot_threshold, cfg.hot_window) {
+        return false;
+    }
+    // 3. "The lock is held in a shared mode (e.g. S, IS, IX)."
+    if cfg.require_shared_mode && !mode.is_shared_for_sli() {
+        return false;
+    }
+    // 4. "No other transaction is waiting on the lock."
+    if cfg.require_no_waiters && head.waiters_hint() > 0 {
+        return false;
+    }
+    // 5. "The previous conditions also hold for the lock's parent, if any."
+    if cfg.require_parent {
+        if let Some(parent_ok) = parent_inherited {
+            if !parent_ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TableId;
+    use crate::mode::LockMode;
+
+    fn hot_head(id: LockId) -> Arc<LockHead> {
+        let h = LockHead::new(id);
+        for _ in 0..16 {
+            h.hot().record(true);
+        }
+        h
+    }
+
+    fn cold_head(id: LockId) -> Arc<LockHead> {
+        let h = LockHead::new(id);
+        for _ in 0..16 {
+            h.hot().record(false);
+        }
+        h
+    }
+
+    #[test]
+    fn all_five_criteria_must_hold() {
+        let cfg = SliConfig::default();
+        let tid = LockId::Table(TableId(1));
+        let hot = hot_head(tid);
+        assert!(is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::IS,
+            &hot,
+            Some(true)
+        ));
+        // 1. record-level fails
+        let rid = LockId::Record(TableId(1), 0, 0);
+        assert!(!is_inheritance_candidate(
+            &cfg,
+            rid,
+            LockMode::S,
+            &hot_head(rid),
+            Some(true)
+        ));
+        // 2. cold fails
+        assert!(!is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::IS,
+            &cold_head(tid),
+            Some(true)
+        ));
+        // 3. exclusive mode fails
+        assert!(!is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::X,
+            &hot,
+            Some(true)
+        ));
+        assert!(!is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::SIX,
+            &hot,
+            Some(true)
+        ));
+        // 5. parent not inherited fails
+        assert!(!is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::IS,
+            &hot,
+            Some(false)
+        ));
+        // root has no parent
+        assert!(is_inheritance_candidate(
+            &cfg,
+            LockId::Database,
+            LockMode::IS,
+            &hot_head(LockId::Database),
+            None
+        ));
+    }
+
+    #[test]
+    fn criterion_4_rejects_waiters() {
+        let cfg = SliConfig::default();
+        let tid = LockId::Table(TableId(2));
+        let head = hot_head(tid);
+        {
+            let mut q = head.latch();
+            let w = Arc::new(LockRequest::new_waiting(tid, 1, 9, LockMode::X));
+            q.push_waiting(w);
+        }
+        assert!(head.waiters_hint() > 0);
+        assert!(!is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::IS,
+            &head,
+            Some(true)
+        ));
+    }
+
+    #[test]
+    fn disabled_config_rejects_everything() {
+        let cfg = SliConfig::disabled();
+        let tid = LockId::Table(TableId(1));
+        assert!(!is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::IS,
+            &hot_head(tid),
+            Some(true)
+        ));
+    }
+
+    #[test]
+    fn ablation_toggles_relax_individual_criteria() {
+        let tid = LockId::Table(TableId(1));
+        let hot = hot_head(tid);
+        let mut cfg = SliConfig::default();
+        cfg.require_shared_mode = false;
+        assert!(is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::X,
+            &hot,
+            Some(true)
+        ));
+        let mut cfg = SliConfig::default();
+        cfg.require_parent = false;
+        assert!(is_inheritance_candidate(
+            &cfg,
+            tid,
+            LockMode::IS,
+            &hot,
+            Some(false)
+        ));
+        let mut cfg = SliConfig::default();
+        cfg.min_level = crate::id::LockLevel::Record;
+        let rid = LockId::Record(TableId(1), 0, 0);
+        assert!(is_inheritance_candidate(
+            &cfg,
+            rid,
+            LockMode::S,
+            &hot_head(rid),
+            Some(true)
+        ));
+    }
+
+    #[test]
+    fn agent_state_remove_by_identity() {
+        let mut a = AgentSliState::new(3);
+        let id = LockId::Table(TableId(1));
+        let head = LockHead::new(id);
+        let r1 = Arc::new(LockRequest::new_granted(id, 3, 1, LockMode::IS));
+        let r2 = Arc::new(LockRequest::new_granted(LockId::Database, 3, 1, LockMode::IS));
+        a.inherited.push((Arc::clone(&r1), Arc::clone(&head)));
+        a.inherited
+            .push((Arc::clone(&r2), LockHead::new(LockId::Database)));
+        assert_eq!(a.inherited_count(), 2);
+        a.remove(&r1);
+        assert_eq!(a.inherited_count(), 1);
+        assert_eq!(a.inherited_ids().next(), Some(LockId::Database));
+        assert_eq!(a.slot(), 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Lock manager counters backing Figures 8 and 9.
+//!
+//! Figure 8 is a census of the locks transactions acquire, classified along
+//! the three axes SLI cares about (hot/cold, heritable/not, row/high-level);
+//! Figure 9 partitions the *hot* locks by their SLI outcome (inherited and
+//! used, inherited but discarded, invalidated, or never inherited).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Release-time classification of one lock for the Figure 8 census.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockClass {
+    /// Hot and meets all static inheritance criteria — SLI's target.
+    HotHeritable,
+    /// Hot but fails some criterion (exclusive mode, waiters, row level...).
+    HotNonHeritable,
+    /// Cold row-level lock (numerous but harmless).
+    ColdRow,
+    /// Cold page-or-higher lock.
+    ColdHigh,
+}
+
+/// Monotonic counters maintained by the lock manager. All updates are
+/// relaxed single increments; snapshots are only approximately consistent,
+/// which is fine for reporting.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    // Traffic.
+    lock_requests: AtomicU64,
+    cache_hits: AtomicU64,
+    coverage_hits: AtomicU64,
+    upgrades: AtomicU64,
+    blocks: AtomicU64,
+    deadlocks: AtomicU64,
+    timeouts: AtomicU64,
+    // Figure 8 census.
+    census_total: AtomicU64,
+    census_hot_heritable: AtomicU64,
+    census_hot_non_heritable: AtomicU64,
+    census_cold_row: AtomicU64,
+    census_cold_high: AtomicU64,
+    // Figure 9 outcomes.
+    sli_inherited: AtomicU64,
+    sli_reclaimed: AtomicU64,
+    sli_invalidated: AtomicU64,
+    sli_discarded: AtomicU64,
+    sli_hot_not_inherited: AtomicU64,
+    // Transactions.
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+macro_rules! bump {
+    ($name:ident, $field:ident) => {
+        #[doc = concat!("Increment the `", stringify!($field), "` counter.")]
+        #[inline]
+        pub fn $name(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+}
+
+impl LockStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    bump!(on_lock_request, lock_requests);
+    bump!(on_cache_hit, cache_hits);
+    bump!(on_coverage_hit, coverage_hits);
+    bump!(on_upgrade, upgrades);
+    bump!(on_block, blocks);
+    bump!(on_deadlock, deadlocks);
+    bump!(on_timeout, timeouts);
+    bump!(on_sli_inherited, sli_inherited);
+    bump!(on_sli_reclaimed, sli_reclaimed);
+    bump!(on_sli_invalidated, sli_invalidated);
+    bump!(on_sli_discarded, sli_discarded);
+    bump!(on_sli_hot_not_inherited, sli_hot_not_inherited);
+    bump!(on_commit, commits);
+    bump!(on_abort, aborts);
+
+    /// Record one lock in the Figure 8 census.
+    #[inline]
+    pub fn on_census(&self, class: LockClass) {
+        self.census_total.fetch_add(1, Ordering::Relaxed);
+        let slot = match class {
+            LockClass::HotHeritable => &self.census_hot_heritable,
+            LockClass::HotNonHeritable => &self.census_hot_non_heritable,
+            LockClass::ColdRow => &self.census_cold_row,
+            LockClass::ColdHigh => &self.census_cold_high,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            lock_requests: self.lock_requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coverage_hits: self.coverage_hits.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            census_total: self.census_total.load(Ordering::Relaxed),
+            census_hot_heritable: self.census_hot_heritable.load(Ordering::Relaxed),
+            census_hot_non_heritable: self.census_hot_non_heritable.load(Ordering::Relaxed),
+            census_cold_row: self.census_cold_row.load(Ordering::Relaxed),
+            census_cold_high: self.census_cold_high.load(Ordering::Relaxed),
+            sli_inherited: self.sli_inherited.load(Ordering::Relaxed),
+            sli_reclaimed: self.sli_reclaimed.load(Ordering::Relaxed),
+            sli_invalidated: self.sli_invalidated.load(Ordering::Relaxed),
+            sli_discarded: self.sli_discarded.load(Ordering::Relaxed),
+            sli_hot_not_inherited: self.sli_hot_not_inherited.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`LockStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct LockStatsSnapshot {
+    pub lock_requests: u64,
+    pub cache_hits: u64,
+    pub coverage_hits: u64,
+    pub upgrades: u64,
+    pub blocks: u64,
+    pub deadlocks: u64,
+    pub timeouts: u64,
+    pub census_total: u64,
+    pub census_hot_heritable: u64,
+    pub census_hot_non_heritable: u64,
+    pub census_cold_row: u64,
+    pub census_cold_high: u64,
+    pub sli_inherited: u64,
+    pub sli_reclaimed: u64,
+    pub sli_invalidated: u64,
+    pub sli_discarded: u64,
+    pub sli_hot_not_inherited: u64,
+    pub commits: u64,
+    pub aborts: u64,
+}
+
+impl LockStatsSnapshot {
+    /// Counter-wise difference `self - earlier` (for measurement windows).
+    pub fn delta(&self, earlier: &LockStatsSnapshot) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            lock_requests: self.lock_requests - earlier.lock_requests,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            coverage_hits: self.coverage_hits - earlier.coverage_hits,
+            upgrades: self.upgrades - earlier.upgrades,
+            blocks: self.blocks - earlier.blocks,
+            deadlocks: self.deadlocks - earlier.deadlocks,
+            timeouts: self.timeouts - earlier.timeouts,
+            census_total: self.census_total - earlier.census_total,
+            census_hot_heritable: self.census_hot_heritable - earlier.census_hot_heritable,
+            census_hot_non_heritable: self.census_hot_non_heritable
+                - earlier.census_hot_non_heritable,
+            census_cold_row: self.census_cold_row - earlier.census_cold_row,
+            census_cold_high: self.census_cold_high - earlier.census_cold_high,
+            sli_inherited: self.sli_inherited - earlier.sli_inherited,
+            sli_reclaimed: self.sli_reclaimed - earlier.sli_reclaimed,
+            sli_invalidated: self.sli_invalidated - earlier.sli_invalidated,
+            sli_discarded: self.sli_discarded - earlier.sli_discarded,
+            sli_hot_not_inherited: self.sli_hot_not_inherited - earlier.sli_hot_not_inherited,
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+        }
+    }
+
+    /// Average locks acquired per committed transaction (Figure 8's
+    /// per-column annotation).
+    pub fn avg_locks_per_txn(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.census_total as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of census locks in each class:
+    /// `(hot_heritable, hot_non_heritable, cold_row, cold_high)`.
+    pub fn census_fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.census_total.max(1) as f64;
+        (
+            self.census_hot_heritable as f64 / t,
+            self.census_hot_non_heritable as f64 / t,
+            self.census_cold_row as f64 / t,
+            self.census_cold_high as f64 / t,
+        )
+    }
+
+    /// Total hot locks observed (the Figure 9 denominator).
+    pub fn hot_locks(&self) -> u64 {
+        self.census_hot_heritable + self.census_hot_non_heritable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_buckets_sum_to_total() {
+        let s = LockStats::new();
+        s.on_census(LockClass::HotHeritable);
+        s.on_census(LockClass::HotHeritable);
+        s.on_census(LockClass::ColdRow);
+        s.on_census(LockClass::HotNonHeritable);
+        s.on_census(LockClass::ColdHigh);
+        let snap = s.snapshot();
+        assert_eq!(snap.census_total, 5);
+        assert_eq!(
+            snap.census_hot_heritable
+                + snap.census_hot_non_heritable
+                + snap.census_cold_row
+                + snap.census_cold_high,
+            snap.census_total
+        );
+        assert_eq!(snap.hot_locks(), 3);
+    }
+
+    #[test]
+    fn delta_subtracts_windows() {
+        let s = LockStats::new();
+        s.on_lock_request();
+        let a = s.snapshot();
+        s.on_lock_request();
+        s.on_commit();
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.lock_requests, 1);
+        assert_eq!(d.commits, 1);
+    }
+
+    #[test]
+    fn avg_locks_per_txn_guards_div_by_zero() {
+        let snap = LockStatsSnapshot::default();
+        assert_eq!(snap.avg_locks_per_txn(), 0.0);
+    }
+
+    #[test]
+    fn census_fractions_sum_to_one() {
+        let s = LockStats::new();
+        for _ in 0..10 {
+            s.on_census(LockClass::ColdRow);
+        }
+        for _ in 0..30 {
+            s.on_census(LockClass::HotHeritable);
+        }
+        let (hh, hn, cr, ch) = s.snapshot().census_fractions();
+        assert!((hh + hn + cr + ch - 1.0).abs() < 1e-9);
+        assert!((hh - 0.75).abs() < 1e-9);
+    }
+}

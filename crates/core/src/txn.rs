@@ -1,0 +1,150 @@
+//! Per-transaction lock state.
+//!
+//! Each transaction agent "maintains a private list of requests for all
+//! locks it holds, in the order it acquired them" (Section 3.2), plus a
+//! *lock cache* mapping lock ids to requests. SLI pre-populates the cache of
+//! a new transaction with the agent's inherited requests, so that a
+//! transaction "will find the request already in its cache" (Section 4.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::head::LockHead;
+use crate::id::LockId;
+use crate::mode::LockMode;
+use crate::request::{LockRequest, RequestStatus};
+
+/// A lock request together with its lock head, so release paths and SLI
+/// never re-probe the hash table.
+pub(crate) type Entry = (Arc<LockRequest>, Arc<LockHead>);
+
+/// Lock-management state of one running transaction.
+pub struct TxnLockState {
+    pub(crate) txn_seq: u64,
+    pub(crate) agent_slot: u32,
+    /// Private lock list, acquisition order (parents precede children).
+    pub(crate) requests: Vec<Entry>,
+    /// Lock cache: id -> request (owned this txn, or inherited candidates).
+    pub(crate) cache: HashMap<LockId, Entry>,
+    pub(crate) aborted: bool,
+}
+
+impl TxnLockState {
+    /// Fresh state for an agent; reuse across transactions via
+    /// [`crate::LockManager::begin`].
+    pub fn new(agent_slot: u32) -> Self {
+        TxnLockState {
+            txn_seq: 0,
+            agent_slot,
+            requests: Vec::with_capacity(16),
+            cache: HashMap::with_capacity(32),
+            aborted: false,
+        }
+    }
+
+    /// This transaction's sequence number.
+    pub fn txn_seq(&self) -> u64 {
+        self.txn_seq
+    }
+
+    /// The owning agent's slot.
+    pub fn agent_slot(&self) -> u32 {
+        self.agent_slot
+    }
+
+    /// Whether the transaction has been marked aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Number of locks currently held (granted to this transaction).
+    pub fn locks_held(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The mode in which this transaction holds `id`, if any.
+    pub fn held_mode(&self, id: LockId) -> Option<LockMode> {
+        let (req, _) = self.cache.get(&id)?;
+        match req.status() {
+            RequestStatus::Granted | RequestStatus::Converting
+                if req.txn() == self.txn_seq =>
+            {
+                Some(req.mode())
+            }
+            _ => None,
+        }
+    }
+
+    /// Record a newly granted (or reclaimed) request.
+    pub(crate) fn insert_owned(&mut self, req: Arc<LockRequest>, head: Arc<LockHead>) {
+        self.cache
+            .insert(req.lock_id(), (Arc::clone(&req), Arc::clone(&head)));
+        self.requests.push((req, head));
+    }
+
+    /// Reset for a new transaction, keeping allocations.
+    pub(crate) fn reset(&mut self, txn_seq: u64) {
+        self.txn_seq = txn_seq;
+        self.requests.clear();
+        self.cache.clear();
+        self.aborted = false;
+    }
+}
+
+impl std::fmt::Debug for TxnLockState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnLockState")
+            .field("txn_seq", &self.txn_seq)
+            .field("agent_slot", &self.agent_slot)
+            .field("locks_held", &self.requests.len())
+            .field("aborted", &self.aborted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TableId;
+
+    #[test]
+    fn held_mode_reflects_ownership() {
+        let mut ts = TxnLockState::new(0);
+        ts.reset(7);
+        let id = LockId::Table(TableId(1));
+        let head = LockHead::new(id);
+        let req = Arc::new(LockRequest::new_granted(id, 0, 7, LockMode::IS));
+        ts.insert_owned(req, head);
+        assert_eq!(ts.held_mode(id), Some(LockMode::IS));
+        assert_eq!(ts.held_mode(LockId::Database), None);
+        assert_eq!(ts.locks_held(), 1);
+    }
+
+    #[test]
+    fn held_mode_ignores_other_txns_requests() {
+        let mut ts = TxnLockState::new(0);
+        ts.reset(7);
+        let id = LockId::Table(TableId(1));
+        let head = LockHead::new(id);
+        // Request owned by txn 3, e.g. a stale inherited entry.
+        let req = Arc::new(LockRequest::new_granted(id, 0, 3, LockMode::IS));
+        ts.cache.insert(id, (req, head));
+        assert_eq!(ts.held_mode(id), None);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ts = TxnLockState::new(2);
+        ts.reset(1);
+        let id = LockId::Database;
+        let head = LockHead::new(id);
+        let req = Arc::new(LockRequest::new_granted(id, 2, 1, LockMode::IS));
+        ts.insert_owned(req, head);
+        ts.aborted = true;
+        ts.reset(2);
+        assert_eq!(ts.txn_seq(), 2);
+        assert_eq!(ts.locks_held(), 0);
+        assert!(!ts.is_aborted());
+        assert!(ts.cache.is_empty());
+    }
+}

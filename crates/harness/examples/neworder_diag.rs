@@ -1,0 +1,28 @@
+//! Diagnostic: NewOrder baseline vs SLI at fixed agent count, reporting
+//! sys-aborts and SLI counters to explain Figure 11 outliers.
+use std::time::Duration;
+use sli_harness::driver::{run_workload, RunConfig};
+use sli_harness::setup::{tpcc_workloads, ExperimentScale};
+
+fn main() {
+    let mut scale = ExperimentScale::from_env();
+    scale.measure = Duration::from_millis(800);
+    scale.warmup = Duration::from_millis(300);
+    for sli in [false, true] {
+        for w in tpcc_workloads(&scale, sli, &["NewOrder", "Delivery", "StockLevel"]) {
+            let cfg = RunConfig { agents: scale.max_agents, warmup: scale.warmup, measure: scale.measure, seed: 5 };
+            let r = run_workload(&w.db, &w.mix, &cfg);
+            let d = &r.lock_delta;
+            println!(
+                "{:>10} sli={} attempts/s={:>8.0} commits={:>6} sysaborts={:>5} reclaims/txn={:.2} discards/txn={:.3} invalid/txn={:.3} deadlocks={} timeouts={} lm-cont={:.1}% lockwait={:.1}%",
+                w.label, sli as u8, r.attempts_per_sec, r.commits, r.sys_aborts,
+                d.sli_reclaimed as f64 / d.commits.max(1) as f64,
+                d.sli_discarded as f64 / d.commits.max(1) as f64,
+                d.sli_invalidated as f64 / d.commits.max(1) as f64,
+                d.deadlocks, d.timeouts,
+                r.report.contention_fraction(sli_profiler::Component::LockManager) * 100.0,
+                r.report.tally.lock_wait() as f64 / r.report.tally.cpu_time() as f64 * 100.0,
+            );
+        }
+    }
+}

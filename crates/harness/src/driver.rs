@@ -1,0 +1,236 @@
+//! Closed-loop workload driver with profiler collection.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sli_engine::Database;
+use sli_profiler::{Report, Tally};
+use sli_workloads::{MixedWorkload, Outcome};
+
+/// Phases broadcast from the coordinator to the agents.
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_STOP: u8 = 2;
+
+/// One measurement run's parameters.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of agent threads (the paper's "hardware contexts utilized").
+    pub agents: usize,
+    /// Warmup before the measurement window.
+    pub warmup: Duration,
+    /// Measurement window length.
+    pub measure: Duration,
+    /// RNG seed base (each agent derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            agents: 4,
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(400),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Collected results of one run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Committed transactions per second in the window.
+    pub commits_per_sec: f64,
+    /// Completed attempts per second (commits + benchmark-expected
+    /// failures; the paper's NDBB failure transactions count as completed
+    /// work).
+    pub attempts_per_sec: f64,
+    /// Committed transactions in the window.
+    pub commits: u64,
+    /// Benchmark-expected user failures.
+    pub user_fails: u64,
+    /// Deadlock/timeout victims (not retried by the driver).
+    pub sys_aborts: u64,
+    /// Aggregated profiler breakdown for the window.
+    pub report: Report,
+    /// Lock-manager counter delta over the window.
+    pub lock_delta: sli_engine::LockStatsSnapshot,
+    /// Agents used.
+    pub agents: usize,
+}
+
+impl RunResult {
+    /// The paper's Figure 1 series: (lockmgr work, lockmgr contention) as
+    /// fractions of cpu time.
+    pub fn lockmgr_fractions(&self) -> (f64, f64) {
+        self.report.lockmgr_overhead_and_contention()
+    }
+}
+
+struct AgentOutcome {
+    commits: u64,
+    user_fails: u64,
+    sys_aborts: u64,
+    tally: Tally,
+}
+
+/// Run `mix` against `db` under `cfg` and collect throughput + breakdowns.
+pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) -> RunResult {
+    let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
+    let start_barrier = Arc::new(Barrier::new(cfg.agents + 1));
+
+    let (results, wall, lock_delta) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.agents);
+        for a in 0..cfg.agents {
+            let phase = Arc::clone(&phase);
+            let barrier = Arc::clone(&start_barrier);
+            let seed = cfg.seed ^ (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            handles.push(scope.spawn(move || {
+                let session = db.session();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut commits = 0u64;
+                let mut user_fails = 0u64;
+                let mut sys_aborts = 0u64;
+                barrier.wait();
+                let mut measuring = false;
+                loop {
+                    match phase.load(Ordering::Acquire) {
+                        PHASE_STOP => break,
+                        PHASE_MEASURE if !measuring => {
+                            // Entered the window: reset local accounting.
+                            measuring = true;
+                            commits = 0;
+                            user_fails = 0;
+                            sys_aborts = 0;
+                            sli_profiler::reset();
+                        }
+                        _ => {}
+                    }
+                    match mix.run_one(&session, &mut rng).1 {
+                        Outcome::Commit => commits += 1,
+                        Outcome::UserFail => user_fails += 1,
+                        Outcome::SysAbort => sys_aborts += 1,
+                    }
+                }
+                let tally = sli_profiler::take_tally();
+                AgentOutcome {
+                    commits,
+                    user_fails,
+                    sys_aborts,
+                    tally,
+                }
+            }));
+        }
+        start_barrier.wait();
+        std::thread::sleep(cfg.warmup);
+        phase.store(PHASE_MEASURE, Ordering::Release);
+        let lock_before = db.lock_stats();
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.measure);
+        let wall = t0.elapsed();
+        let lock_after = db.lock_stats();
+        phase.store(PHASE_STOP, Ordering::Release);
+        let outcomes: Vec<AgentOutcome> =
+            handles.into_iter().map(|h| h.join().expect("agent")).collect();
+        (outcomes, wall, lock_after.delta(&lock_before))
+    });
+
+    let commits: u64 = results.iter().map(|r| r.commits).sum();
+    let user_fails: u64 = results.iter().map(|r| r.user_fails).sum();
+    let sys_aborts: u64 = results.iter().map(|r| r.sys_aborts).sum();
+    let secs = wall.as_secs_f64();
+    let report = Report::from_tallies(
+        results.iter().map(|r| &r.tally),
+        wall.as_nanos() as u64,
+        cfg.agents,
+    );
+    RunResult {
+        commits_per_sec: commits as f64 / secs,
+        attempts_per_sec: (commits + user_fails) as f64 / secs,
+        commits,
+        user_fails,
+        sys_aborts,
+        report,
+        lock_delta,
+        agents: cfg.agents,
+    }
+}
+
+/// Sweep agent counts and return per-count results.
+pub fn sweep_agents(
+    db: &Arc<Database>,
+    mix: &MixedWorkload,
+    counts: &[usize],
+    cfg: &RunConfig,
+) -> Vec<RunResult> {
+    counts
+        .iter()
+        .map(|&agents| {
+            let cfg = RunConfig {
+                agents,
+                ..cfg.clone()
+            };
+            run_workload(db, mix, &cfg)
+        })
+        .collect()
+}
+
+/// Pick the result with the highest attempts/sec (the paper's "peak
+/// throughput" point).
+pub fn peak(results: &[RunResult]) -> &RunResult {
+    results
+        .iter()
+        .max_by(|a, b| {
+            a.attempts_per_sec
+                .partial_cmp(&b.attempts_per_sec)
+                .expect("throughputs are finite")
+        })
+        .expect("non-empty sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sli_engine::DatabaseConfig;
+    use sli_workloads::tm1::Tm1;
+
+    #[test]
+    fn driver_measures_throughput_and_breakdown() {
+        let db = sli_engine::Database::open(DatabaseConfig::with_sli().in_memory());
+        let tm1 = Tm1::load(&db, 1000, 1);
+        let mix = tm1.ndbb_mix();
+        let cfg = RunConfig {
+            agents: 2,
+            warmup: Duration::from_millis(30),
+            measure: Duration::from_millis(100),
+            seed: 1,
+        };
+        let r = run_workload(&db, &mix, &cfg);
+        assert!(r.commits > 0, "some transactions must commit");
+        assert!(r.attempts_per_sec > r.commits_per_sec * 0.99);
+        assert!(r.report.tally.total() > 0, "profiler captured something");
+        assert!(r.lock_delta.commits > 0);
+        // Two agents for 100ms: potential = 200ms of cpu time.
+        assert!(r.report.potential() >= 150_000_000);
+    }
+
+    #[test]
+    fn sweep_and_peak() {
+        let db = sli_engine::Database::open(DatabaseConfig::baseline().in_memory());
+        let tm1 = Tm1::load(&db, 500, 2);
+        let mix = tm1.single(sli_workloads::tm1::Tm1Txn::GetSubscriberData);
+        let cfg = RunConfig {
+            agents: 1,
+            warmup: Duration::from_millis(10),
+            measure: Duration::from_millis(50),
+            seed: 3,
+        };
+        let results = sweep_agents(&db, &mix, &[1, 2], &cfg);
+        assert_eq!(results.len(), 2);
+        let p = peak(&results);
+        assert!(p.attempts_per_sec >= results[0].attempts_per_sec);
+    }
+}

@@ -1,0 +1,697 @@
+//! Per-figure experiment drivers.
+//!
+//! Every public function regenerates one figure (or ablation) of the paper,
+//! prints its series as a text table, and returns the structured rows so
+//! tests and benches can assert on shapes. Paper-vs-measured comparisons
+//! live in EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sli_engine::Database;
+use sli_profiler::{Category, Component};
+use sli_workloads::tm1::Tm1;
+use sli_workloads::tpcb::TpcB;
+use sli_workloads::MixedWorkload;
+
+use crate::driver::{peak, run_workload, sweep_agents, RunConfig, RunResult};
+use crate::setup::{
+    all_breakdown_workloads, db_config, tm1_workloads, tpcb_workload, tpcc_workloads,
+    ExperimentScale, LoadedWorkload,
+};
+
+fn run_cfg(scale: &ExperimentScale, agents: usize) -> RunConfig {
+    RunConfig {
+        agents,
+        warmup: scale.warmup,
+        measure: scale.measure,
+        seed: 0xC0FFEE,
+    }
+}
+
+fn pct(x: f64) -> f64 {
+    (x * 1000.0).round() / 10.0
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+/// One point of Figure 1: lock-manager overhead and contention vs load.
+#[derive(Clone, Debug)]
+pub struct Fig1Row {
+    /// Agent threads offered.
+    pub agents: usize,
+    /// Attempts per second.
+    pub throughput: f64,
+    /// % of cpu time spent on useful lock-manager work.
+    pub lockmgr_work_pct: f64,
+    /// % of cpu time wasted contending in the lock manager.
+    pub lockmgr_contention_pct: f64,
+    /// Busy fraction of the machine.
+    pub utilization_pct: f64,
+}
+
+/// Figure 1: "Lock manager overhead as system load increases" — NDBB mix,
+/// baseline lock manager, load swept from near-idle to saturated.
+pub fn fig1(scale: &ExperimentScale) -> Vec<Fig1Row> {
+    let w = &tm1_workloads(scale, false, &["NDBB-Mix"])[0];
+    println!("\n== Figure 1: lock manager overhead vs load (NDBB mix, baseline) ==");
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>8}",
+        "agents", "attempts/s", "lm-work%", "lm-contend%", "util%"
+    );
+    let mut rows = Vec::new();
+    for agents in scale.agent_ladder() {
+        let r = run_workload(&w.db, &w.mix, &run_cfg(scale, agents));
+        let (work, cont) = r.lockmgr_fractions();
+        let row = Fig1Row {
+            agents,
+            throughput: r.attempts_per_sec,
+            lockmgr_work_pct: pct(work),
+            lockmgr_contention_pct: pct(cont),
+            utilization_pct: pct(r.report.utilization()),
+        };
+        println!(
+            "{:>7} {:>12.0} {:>10.1} {:>12.1} {:>8.1}",
+            row.agents,
+            row.throughput,
+            row.lockmgr_work_pct,
+            row.lockmgr_contention_pct,
+            row.utilization_pct
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// Per-thread accounting of the Figure 5 demonstration.
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// Thread role.
+    pub role: &'static str,
+    /// Attributed busy (work + contention) fraction of the window.
+    pub busy_pct: f64,
+    /// Contention share of the window.
+    pub contention_pct: f64,
+}
+
+/// Figure 5: the profiler-accounting demonstration — five threads over one
+/// window: one fully busy, two serializing on a latch, two mostly asleep.
+/// Shows that the profiler measures *work*, not time, and separates useless
+/// (contention) work.
+pub fn fig5(scale: &ExperimentScale) -> Vec<Fig5Row> {
+    use sli_latch::Latch;
+    let window = scale.measure.max(Duration::from_millis(100));
+    let latch = Arc::new(Latch::new(Component::Other));
+    let mut rows = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        // One busy thread.
+        handles.push(("busy", s.spawn({
+            let w = window;
+            move || {
+                sli_profiler::reset();
+                let t0 = std::time::Instant::now();
+                while t0.elapsed() < w {
+                    let _g = sli_profiler::enter(Category::Work(Component::Application));
+                    std::hint::spin_loop();
+                }
+                sli_profiler::take_tally()
+            }
+        })));
+        // Two serializing threads: hold the latch for 1ms at a time.
+        for _ in 0..2 {
+            let latch = Arc::clone(&latch);
+            let w = window;
+            handles.push(("serialized", s.spawn(move || {
+                sli_profiler::reset();
+                let t0 = std::time::Instant::now();
+                while t0.elapsed() < w {
+                    let _work = sli_profiler::enter(Category::Work(Component::Application));
+                    let _g = latch.acquire();
+                    let h0 = std::time::Instant::now();
+                    while h0.elapsed() < Duration::from_micros(900) {
+                        std::hint::spin_loop();
+                    }
+                }
+                sli_profiler::take_tally()
+            })));
+        }
+        // Two daemon threads: mostly asleep.
+        for _ in 0..2 {
+            let w = window;
+            handles.push(("daemon", s.spawn(move || {
+                sli_profiler::reset();
+                let t0 = std::time::Instant::now();
+                while t0.elapsed() < w {
+                    {
+                        let _g = sli_profiler::enter(Category::Work(Component::Other));
+                        let h0 = std::time::Instant::now();
+                        while h0.elapsed() < Duration::from_micros(50) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                sli_profiler::take_tally()
+            })));
+        }
+        println!("\n== Figure 5: profiler work accounting (5 threads, one window) ==");
+        println!("{:>12} {:>8} {:>12}", "role", "busy%", "contention%");
+        for (role, h) in handles {
+            let tally = h.join().expect("fig5 thread");
+            let busy = (tally.total_work() + tally.total_contention()) as f64
+                / window.as_nanos() as f64;
+            let cont = tally.total_contention() as f64 / window.as_nanos() as f64;
+            let row = Fig5Row {
+                role,
+                busy_pct: pct(busy),
+                contention_pct: pct(cont),
+            };
+            println!(
+                "{:>12} {:>8.1} {:>12.1}",
+                row.role, row.busy_pct, row.contention_pct
+            );
+            rows.push(row);
+        }
+    });
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6 and 10: execution-time breakdowns
+// ---------------------------------------------------------------------------
+
+/// One column of a Figure 6/10-style breakdown.
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Workload label.
+    pub label: &'static str,
+    /// Agents at the measured point ("hardware contexts utilized").
+    pub agents: usize,
+    /// Attempts/sec at that point.
+    pub throughput: f64,
+    /// % cpu time: useful work outside the lock manager.
+    pub work_other_pct: f64,
+    /// % cpu time: useful work inside the lock manager.
+    pub work_lockmgr_pct: f64,
+    /// % cpu time: contention inside the lock manager.
+    pub cont_lockmgr_pct: f64,
+    /// % cpu time: contention outside the lock manager.
+    pub cont_other_pct: f64,
+    /// % cpu time: SLI bookkeeping (reclaim, candidate selection, discards).
+    pub sli_pct: f64,
+}
+
+fn breakdown_row(label: &'static str, r: &RunResult) -> BreakdownRow {
+    let (wo, wl, cl, co) = r.report.four_way_split();
+    let sli = r.report.work_fraction(Component::Sli);
+    BreakdownRow {
+        label,
+        agents: r.agents,
+        throughput: r.attempts_per_sec,
+        work_other_pct: pct(wo - sli),
+        work_lockmgr_pct: pct(wl),
+        cont_lockmgr_pct: pct(cl),
+        cont_other_pct: pct(co),
+        sli_pct: pct(sli),
+    }
+}
+
+fn print_breakdown_header(title: &str) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>12} {:>7} {:>12} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "workload", "agents", "attempts/s", "work", "lm-work", "lm-cont", "cont", "sli"
+    );
+}
+
+fn print_breakdown_row(row: &BreakdownRow) {
+    println!(
+        "{:>12} {:>7} {:>12.0} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>6.1}%",
+        row.label,
+        row.agents,
+        row.throughput,
+        row.work_other_pct,
+        row.work_lockmgr_pct,
+        row.cont_lockmgr_pct,
+        row.cont_other_pct,
+        row.sli_pct
+    );
+}
+
+fn breakdown_at_peak(w: &LoadedWorkload, scale: &ExperimentScale) -> BreakdownRow {
+    let results = sweep_agents(&w.db, &w.mix, &scale.short_ladder(), &run_cfg(scale, 1));
+    breakdown_row(w.label, peak(&results))
+}
+
+/// Figure 6: execution-time breakdown at peak throughput, baseline system.
+pub fn fig6(scale: &ExperimentScale) -> Vec<BreakdownRow> {
+    print_breakdown_header("Figure 6: breakdown at peak, baseline (SLI off)");
+    all_breakdown_workloads(scale, false)
+        .iter()
+        .map(|w| {
+            let row = breakdown_at_peak(w, scale);
+            print_breakdown_row(&row);
+            row
+        })
+        .collect()
+}
+
+/// Figure 10: execution-time breakdown on a fully loaded system with SLI.
+pub fn fig10(scale: &ExperimentScale) -> Vec<BreakdownRow> {
+    print_breakdown_header("Figure 10: breakdown at full load, SLI enabled");
+    all_breakdown_workloads(scale, true)
+        .iter()
+        .map(|w| {
+            let r = run_workload(&w.db, &w.mix, &run_cfg(scale, scale.max_agents));
+            let row = breakdown_row(w.label, &r);
+            print_breakdown_row(&row);
+            row
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// One point of a Figure 7 load curve.
+#[derive(Clone, Debug)]
+pub struct Fig7Point {
+    /// Agents offered.
+    pub agents: usize,
+    /// Machine utilization %.
+    pub utilization_pct: f64,
+    /// Attempts per second.
+    pub throughput: f64,
+}
+
+/// Figure 7: throughput vs utilization as load varies, baseline — NDBB mix,
+/// TPC-B, and TPC-C Payment.
+pub fn fig7(scale: &ExperimentScale) -> Vec<(&'static str, Vec<Fig7Point>)> {
+    let mut workloads = tm1_workloads(scale, false, &["NDBB-Mix"]);
+    workloads.push(tpcb_workload(scale, false));
+    workloads.extend(tpcc_workloads(scale, false, &["Payment"]));
+    println!("\n== Figure 7: throughput vs load, baseline ==");
+    let mut out = Vec::new();
+    for w in &workloads {
+        println!("-- {} --", w.label);
+        println!("{:>7} {:>8} {:>12}", "agents", "util%", "attempts/s");
+        let mut curve = Vec::new();
+        for agents in scale.agent_ladder() {
+            let r = run_workload(&w.db, &w.mix, &run_cfg(scale, agents));
+            let p = Fig7Point {
+                agents,
+                utilization_pct: pct(r.report.utilization()),
+                throughput: r.attempts_per_sec,
+            };
+            println!(
+                "{:>7} {:>8.1} {:>12.0}",
+                p.agents, p.utilization_pct, p.throughput
+            );
+            curve.push(p);
+        }
+        out.push((w.label, curve));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+/// One column of Figure 8: the lock census.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Workload label.
+    pub label: &'static str,
+    /// Average locks acquired per transaction (the number printed above
+    /// each bar in the paper).
+    pub avg_locks_per_txn: f64,
+    /// % of locks that are hot and heritable (SLI's target).
+    pub hot_heritable_pct: f64,
+    /// % hot but non-heritable.
+    pub hot_non_heritable_pct: f64,
+    /// % cold row-level.
+    pub cold_row_pct: f64,
+    /// % cold page-or-higher.
+    pub cold_high_pct: f64,
+}
+
+/// Figure 8: breakdown of SLI-related characteristics of the locks each
+/// transaction acquires (baseline system under full load, census counters).
+pub fn fig8(scale: &ExperimentScale) -> Vec<Fig8Row> {
+    println!("\n== Figure 8: lock census under load (baseline) ==");
+    println!(
+        "{:>12} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "locks/txn", "hot+her", "hot-her", "cold-row", "cold-hi"
+    );
+    all_breakdown_workloads(scale, false)
+        .iter()
+        .map(|w| {
+            let r = run_workload(&w.db, &w.mix, &run_cfg(scale, scale.max_agents));
+            let (hh, hn, cr, ch) = r.lock_delta.census_fractions();
+            let row = Fig8Row {
+                label: w.label,
+                avg_locks_per_txn: r.lock_delta.avg_locks_per_txn(),
+                hot_heritable_pct: pct(hh),
+                hot_non_heritable_pct: pct(hn),
+                cold_row_pct: pct(cr),
+                cold_high_pct: pct(ch),
+            };
+            println!(
+                "{:>12} {:>10.1} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+                row.label,
+                row.avg_locks_per_txn,
+                row.hot_heritable_pct,
+                row.hot_non_heritable_pct,
+                row.cold_row_pct,
+                row.cold_high_pct
+            );
+            row
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9
+// ---------------------------------------------------------------------------
+
+/// One column of Figure 9: outcomes for SLI-candidate locks.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Workload label.
+    pub label: &'static str,
+    /// Hot locks observed per committed transaction.
+    pub hot_locks_per_txn: f64,
+    /// % of hot locks inherited and then used (reclaimed).
+    pub used_pct: f64,
+    /// % inherited but discarded unused at the next commit.
+    pub discarded_pct: f64,
+    /// % invalidated by conflicting transactions (or orphaned).
+    pub invalidated_pct: f64,
+    /// % hot but never inherited (failed criteria 1/3/4/5).
+    pub not_inherited_pct: f64,
+}
+
+/// Figure 9: breakdown of outcomes for locks SLI could pass between
+/// transactions (SLI enabled, full load).
+pub fn fig9(scale: &ExperimentScale) -> Vec<Fig9Row> {
+    println!("\n== Figure 9: SLI outcomes for hot locks (SLI on) ==");
+    println!(
+        "{:>12} {:>9} {:>8} {:>10} {:>12} {:>13}",
+        "workload", "hot/txn", "used", "discarded", "invalidated", "not-inherited"
+    );
+    all_breakdown_workloads(scale, true)
+        .iter()
+        .map(|w| {
+            let r = run_workload(&w.db, &w.mix, &run_cfg(scale, scale.max_agents));
+            let d = &r.lock_delta;
+            let hot = d.hot_locks().max(1) as f64;
+            let row = Fig9Row {
+                label: w.label,
+                hot_locks_per_txn: d.hot_locks() as f64 / d.commits.max(1) as f64,
+                used_pct: pct(d.sli_reclaimed as f64 / hot),
+                discarded_pct: pct(d.sli_discarded as f64 / hot),
+                invalidated_pct: pct(d.sli_invalidated as f64 / hot),
+                not_inherited_pct: pct(d.sli_hot_not_inherited as f64 / hot),
+            };
+            println!(
+                "{:>12} {:>9.2} {:>7.1}% {:>9.1}% {:>11.1}% {:>12.1}%",
+                row.label,
+                row.hot_locks_per_txn,
+                row.used_pct,
+                row.discarded_pct,
+                row.invalidated_pct,
+                row.not_inherited_pct
+            );
+            row
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------------
+
+/// One column of Figure 11: SLI speedup.
+#[derive(Clone, Debug)]
+pub struct Fig11Row {
+    /// Workload label.
+    pub label: &'static str,
+    /// Baseline peak attempts/sec.
+    pub baseline: f64,
+    /// SLI peak attempts/sec.
+    pub sli: f64,
+    /// Speedup percentage (`(sli/baseline - 1) * 100`).
+    pub speedup_pct: f64,
+}
+
+/// Figure 11: performance improvement due to SLI — peak throughput of the
+/// baseline vs the SLI system for every workload.
+pub fn fig11(scale: &ExperimentScale) -> Vec<Fig11Row> {
+    println!("\n== Figure 11: throughput improvement due to SLI ==");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "workload", "baseline/s", "sli/s", "speedup"
+    );
+    let base = all_breakdown_workloads(scale, false);
+    let with = all_breakdown_workloads(scale, true);
+    base.iter()
+        .zip(with.iter())
+        .map(|(b, s)| {
+            debug_assert_eq!(b.label, s.label);
+            let rb = sweep_agents(&b.db, &b.mix, &scale.short_ladder(), &run_cfg(scale, 1));
+            let rs = sweep_agents(&s.db, &s.mix, &scale.short_ladder(), &run_cfg(scale, 1));
+            let pb = peak(&rb).attempts_per_sec;
+            let ps = peak(&rs).attempts_per_sec;
+            let row = Fig11Row {
+                label: b.label,
+                baseline: pb,
+                sli: ps,
+                speedup_pct: ((ps / pb) - 1.0) * 100.0,
+            };
+            println!(
+                "{:>12} {:>14.0} {:>14.0} {:>8.1}%",
+                row.label, row.baseline, row.sli, row.speedup_pct
+            );
+            row
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (Sections 4.2 and 4.4)
+// ---------------------------------------------------------------------------
+
+/// One ablation variant's measurements.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Attempts per second at full load.
+    pub throughput: f64,
+    /// Reclaims per committed transaction.
+    pub reclaims_per_txn: f64,
+    /// Invalidations per committed transaction.
+    pub invalidations_per_txn: f64,
+    /// % cpu time contending in the lock manager.
+    pub lockmgr_contention_pct: f64,
+}
+
+fn ablation_run(
+    scale: &ExperimentScale,
+    variant: &'static str,
+    cfg_fn: impl FnOnce(&mut sli_engine::SliConfig),
+) -> AblationRow {
+    let mut db_cfg = db_config(true);
+    cfg_fn(&mut db_cfg.lock.sli);
+    let db = Database::open(db_cfg);
+    let tm1 = Tm1::load(&db, scale.tm1_subscribers, 42);
+    let mix = tm1.ndbb_mix();
+    let r = run_workload(&db, &mix, &run_cfg(scale, scale.max_agents));
+    let d = &r.lock_delta;
+    AblationRow {
+        variant,
+        throughput: r.attempts_per_sec,
+        reclaims_per_txn: d.sli_reclaimed as f64 / d.commits.max(1) as f64,
+        invalidations_per_txn: d.sli_invalidated as f64 / d.commits.max(1) as f64,
+        lockmgr_contention_pct: pct(r.report.contention_fraction(Component::LockManager)),
+    }
+}
+
+/// Section 4.2 ablation: disable each inheritance criterion in turn and
+/// measure the NDBB mix at full load.
+pub fn ablation_criteria(scale: &ExperimentScale) -> Vec<AblationRow> {
+    println!("\n== Ablation: SLI inheritance criteria (NDBB mix, full load) ==");
+    println!(
+        "{:>18} {:>12} {:>12} {:>14} {:>10}",
+        "variant", "attempts/s", "reclaims/txn", "invalid/txn", "lm-cont%"
+    );
+    let rows = vec![
+        ablation_run(scale, "full-sli", |_| {}),
+        ablation_run(scale, "sli-off", |c| c.enabled = false),
+        ablation_run(scale, "no-hot-filter", |c| c.hot_threshold = 0.0),
+        ablation_run(scale, "inherit-rows", |c| {
+            c.min_level = sli_engine::LockLevel::Record
+        }),
+        ablation_run(scale, "ignore-waiters", |c| c.require_no_waiters = false),
+        ablation_run(scale, "ignore-parent", |c| c.require_parent = false),
+        ablation_run(scale, "hysteresis-3", |c| c.hysteresis = 3),
+    ];
+    for row in &rows {
+        println!(
+            "{:>18} {:>12.0} {:>12.2} {:>14.3} {:>10.1}",
+            row.variant,
+            row.throughput,
+            row.reclaims_per_txn,
+            row.invalidations_per_txn,
+            row.lockmgr_contention_pct
+        );
+    }
+    rows
+}
+
+/// Section 4.4: the *bimodal workload* — TM1 reads and TPC-B writes with
+/// disjoint lock sets sharing the same agents, with and without hysteresis.
+pub fn bimodal(scale: &ExperimentScale) -> Vec<AblationRow> {
+    println!("\n== Section 4.4: bimodal workload (TM1 reads + TPC-B writes) ==");
+    println!(
+        "{:>18} {:>12} {:>12} {:>14} {:>10}",
+        "variant", "attempts/s", "reclaims/txn", "discards/txn", "lm-cont%"
+    );
+    let mut rows = Vec::new();
+    for (variant, hysteresis, sli) in [
+        ("baseline", 0u32, false),
+        ("sli-h0", 0, true),
+        ("sli-h2", 2, true),
+    ] {
+        let mut db_cfg = db_config(sli);
+        db_cfg.lock.sli.hysteresis = hysteresis;
+        let db = Database::open(db_cfg);
+        let tm1 = Tm1::load(&db, scale.tm1_subscribers, 42);
+        let tpcb = TpcB::load(&db, scale.tpcb_branches, scale.tpcb_accounts);
+        let mix = MixedWorkload::merged(
+            "bimodal",
+            vec![(0.5, tm1.ndbb_mix()), (0.5, tpcb.workload())],
+        );
+        let r = run_workload(&db, &mix, &run_cfg(scale, scale.max_agents));
+        let d = &r.lock_delta;
+        let row = AblationRow {
+            variant,
+            throughput: r.attempts_per_sec,
+            reclaims_per_txn: d.sli_reclaimed as f64 / d.commits.max(1) as f64,
+            invalidations_per_txn: d.sli_discarded as f64 / d.commits.max(1) as f64,
+            lockmgr_contention_pct: pct(r.report.contention_fraction(Component::LockManager)),
+        };
+        println!(
+            "{:>18} {:>12.0} {:>12.2} {:>14.3} {:>10.1}",
+            row.variant,
+            row.throughput,
+            row.reclaims_per_txn,
+            row.invalidations_per_txn,
+            row.lockmgr_contention_pct
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+/// Section 4.4: the *roving hotspot* — an append-only history table whose
+/// hot page moves as pages fill; SLI must keep up without polluting agent
+/// lists.
+pub fn roving_hotspot(scale: &ExperimentScale) -> Vec<AblationRow> {
+    use rand::Rng;
+    println!("\n== Section 4.4: roving hotspot (append-heavy history table) ==");
+    println!(
+        "{:>18} {:>12} {:>12} {:>14} {:>10}",
+        "variant", "attempts/s", "reclaims/txn", "invalid/txn", "lm-cont%"
+    );
+    let mut rows = Vec::new();
+    for (variant, sli) in [("baseline", false), ("sli", true)] {
+        let db = Database::open(db_config(sli));
+        let history = db.create_table("history").expect("fresh db");
+        let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mix = MixedWorkload::new(
+            "append",
+            vec![sli_workloads::mix::MixEntry {
+                name: "append",
+                weight: 1.0,
+                run: Box::new({
+                    let seq = Arc::clone(&seq);
+                    move |s, rng| {
+                        let key =
+                            seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                        let val: u64 = rng.gen();
+                        sli_workloads::Outcome::from_result(s.run(|txn| {
+                            txn.insert(history, key, &val.to_le_bytes())?;
+                            Ok(())
+                        }))
+                    }
+                }),
+            }],
+        );
+        let r = run_workload(&db, &mix, &run_cfg(scale, scale.max_agents));
+        let d = &r.lock_delta;
+        let row = AblationRow {
+            variant,
+            throughput: r.attempts_per_sec,
+            reclaims_per_txn: d.sli_reclaimed as f64 / d.commits.max(1) as f64,
+            invalidations_per_txn: d.sli_invalidated as f64 / d.commits.max(1) as f64,
+            lockmgr_contention_pct: pct(r.report.contention_fraction(Component::LockManager)),
+        };
+        println!(
+            "{:>18} {:>12.0} {:>12.2} {:>14.3} {:>10.1}",
+            row.variant,
+            row.throughput,
+            row.reclaims_per_txn,
+            row.invalidations_per_txn,
+            row.lockmgr_contention_pct
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_runs_at_smoke_scale() {
+        let scale = ExperimentScale::smoke();
+        let rows = fig1(&scale);
+        assert_eq!(rows.len(), scale.agent_ladder().len());
+        for r in &rows {
+            assert!(r.throughput > 0.0);
+            assert!(r.lockmgr_work_pct >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig9_fractions_are_bounded() {
+        let scale = ExperimentScale::smoke();
+        let rows = fig9(&scale);
+        for r in rows {
+            assert!(r.used_pct >= 0.0 && r.used_pct <= 110.0, "{r:?}");
+            assert!(r.invalidated_pct >= 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig11_produces_positive_throughputs() {
+        let scale = ExperimentScale::smoke();
+        let rows = fig11(&scale);
+        assert_eq!(rows.len(), 15);
+        for r in rows {
+            assert!(r.baseline > 0.0);
+            assert!(r.sli > 0.0);
+        }
+    }
+}

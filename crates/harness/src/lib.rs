@@ -1,0 +1,30 @@
+//! # sli-harness — experiment drivers for every figure in the paper
+//!
+//! The harness mirrors the paper's methodology (Section 5): a closed system
+//! of N agent threads running transactions back-to-back against a loaded
+//! database, a warmup phase, then a timed measurement window during which
+//! per-thread profiler tallies, lock-manager counters, and
+//! committed-transaction counts are collected.
+//!
+//! Each `fig*` function regenerates one figure's series and prints it as a
+//! fixed-width table; `EXPERIMENTS.md` records paper-vs-measured shapes.
+//!
+//! Scaling knobs (environment variables, all optional):
+//!
+//! | var | default | meaning |
+//! |-----|---------|---------|
+//! | `SLI_MEASURE_MS` | 400 | measurement window per point |
+//! | `SLI_WARMUP_MS` | 200 | warmup before each window |
+//! | `SLI_MAX_AGENTS` | `nproc` | largest agent count swept |
+//! | `SLI_TM1_SUBS` | 100000 | TM1 subscriber count |
+//! | `SLI_TPCB_BRANCHES` | 100 | TPC-B branches |
+//! | `SLI_TPCC_WAREHOUSES` | 24 | TPC-C warehouses |
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod figures;
+pub mod setup;
+
+pub use driver::{run_workload, RunConfig, RunResult};
+pub use setup::{env_u64, ExperimentScale};

@@ -1,0 +1,74 @@
+//! Per-latch acquisition counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lifetime counters for a single latch: total acquisitions and how many of
+/// them contended. The ratio is the raw signal behind the paper's "hot lock"
+/// criterion ("tracking what fraction of the most recent several acquires
+/// encountered latch contention", Section 4.2) — the lock manager keeps its
+/// own *windowed* version per lock head; these totals are for diagnostics
+/// and tests.
+#[derive(Debug, Default)]
+pub struct LatchStats {
+    acquires: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl LatchStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one acquisition and whether it contended.
+    #[inline]
+    pub fn record(&self, contended: bool) {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total acquisitions.
+    pub fn acquires(&self) -> u64 {
+        self.acquires.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that hit the contended path.
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime contention ratio in `[0, 1]`; 0 when never acquired.
+    pub fn contention_ratio(&self) -> f64 {
+        let a = self.acquires();
+        if a == 0 {
+            0.0
+        } else {
+            self.contended() as f64 / a as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_acquires() {
+        let s = LatchStats::new();
+        assert_eq!(s.contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratio_reflects_recorded_mix() {
+        let s = LatchStats::new();
+        s.record(false);
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.acquires(), 4);
+        assert_eq!(s.contended(), 2);
+        assert!((s.contention_ratio() - 0.5).abs() < 1e-12);
+    }
+}

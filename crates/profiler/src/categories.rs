@@ -1,0 +1,171 @@
+//! Category taxonomy for time accounting.
+
+/// A storage-manager component, mirroring the breakdown axes used in the
+/// paper's Figures 6 and 10 ("work in the lock manager", "contention outside
+/// the lock manager", ...).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Component {
+    /// The database lock manager: hash probes, queue manipulation, grants.
+    LockManager = 0,
+    /// Transaction begin/commit/abort bookkeeping.
+    TxnManager = 1,
+    /// Write-ahead log buffer and flush path.
+    LogManager = 2,
+    /// Buffer pool residency checks and eviction.
+    BufferPool = 3,
+    /// Heap pages and index structures.
+    Storage = 4,
+    /// Speculative Lock Inheritance bookkeeping (candidate selection,
+    /// reclaim, garbage collection). Figure 10 reports SLI overhead
+    /// separately from lock-manager overhead.
+    Sli = 5,
+    /// The benchmark transaction logic itself.
+    Application = 6,
+    /// Anything not otherwise attributed.
+    Other = 7,
+}
+
+/// Number of [`Component`] variants.
+pub const NUM_COMPONENTS: usize = 8;
+
+impl Component {
+    /// All components, in index order.
+    pub const ALL: [Component; NUM_COMPONENTS] = [
+        Component::LockManager,
+        Component::TxnManager,
+        Component::LogManager,
+        Component::BufferPool,
+        Component::Storage,
+        Component::Sli,
+        Component::Application,
+        Component::Other,
+    ];
+
+    /// Short display name used in harness tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::LockManager => "lockmgr",
+            Component::TxnManager => "txnmgr",
+            Component::LogManager => "log",
+            Component::BufferPool => "bpool",
+            Component::Storage => "storage",
+            Component::Sli => "sli",
+            Component::Application => "app",
+            Component::Other => "other",
+        }
+    }
+}
+
+/// What a thread is doing at an instant.
+///
+/// The paper's definitions (Section 1.1): *overhead* is useful work performed
+/// by the system while processing transactions, *contention* is useless work
+/// (spinning or blocking on latches). True lock conflicts and I/O stalls are
+/// tracked separately and excluded from both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Useful work inside a component.
+    Work(Component),
+    /// Physical contention: waiting (spinning or parked) on a latch owned by
+    /// the given component.
+    LatchWait(Component),
+    /// Logical contention: blocked on a database lock held in a conflicting
+    /// mode by another transaction.
+    LockWait,
+    /// Stalled on (simulated) disk I/O.
+    IoWait,
+}
+
+/// Number of distinct category slots in a [`crate::Tally`].
+pub const NUM_CATEGORIES: usize = NUM_COMPONENTS * 2 + 2;
+
+/// Every category, in index order. Useful for exhaustive reports.
+pub const ALL_CATEGORIES: [Category; NUM_CATEGORIES] = {
+    let mut cats = [Category::LockWait; NUM_CATEGORIES];
+    let mut i = 0;
+    while i < NUM_COMPONENTS {
+        cats[i] = Category::Work(Component::ALL[i]);
+        cats[NUM_COMPONENTS + i] = Category::LatchWait(Component::ALL[i]);
+        i += 1;
+    }
+    cats[NUM_COMPONENTS * 2] = Category::LockWait;
+    cats[NUM_COMPONENTS * 2 + 1] = Category::IoWait;
+    cats
+};
+
+impl Category {
+    /// Dense index into a [`crate::Tally`]'s slot array.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Category::Work(c) => c as usize,
+            Category::LatchWait(c) => NUM_COMPONENTS + c as usize,
+            Category::LockWait => NUM_COMPONENTS * 2,
+            Category::IoWait => NUM_COMPONENTS * 2 + 1,
+        }
+    }
+
+    /// Inverse of [`Category::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Category {
+        ALL_CATEGORIES[i]
+    }
+
+    /// True when this category counts as physical contention (useless work).
+    pub fn is_contention(self) -> bool {
+        matches!(self, Category::LatchWait(_))
+    }
+
+    /// True when this category counts as useful work.
+    pub fn is_work(self) -> bool {
+        matches!(self, Category::Work(_))
+    }
+
+    /// Display label, e.g. `work(lockmgr)` or `latch-wait(log)`.
+    pub fn label(self) -> String {
+        match self {
+            Category::Work(c) => format!("work({})", c.name()),
+            Category::LatchWait(c) => format!("latch-wait({})", c.name()),
+            Category::LockWait => "lock-wait".to_string(),
+            Category::IoWait => "io-wait".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_invertible() {
+        for (i, cat) in ALL_CATEGORIES.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+            assert_eq!(Category::from_index(i), *cat);
+        }
+    }
+
+    #[test]
+    fn all_components_enumerated() {
+        for (i, c) in Component::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn contention_classification() {
+        assert!(Category::LatchWait(Component::LockManager).is_contention());
+        assert!(!Category::Work(Component::LockManager).is_contention());
+        assert!(!Category::LockWait.is_contention());
+        assert!(!Category::IoWait.is_contention());
+        assert!(Category::Work(Component::Sli).is_work());
+        assert!(!Category::IoWait.is_work());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ALL_CATEGORIES.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), NUM_CATEGORIES);
+    }
+}

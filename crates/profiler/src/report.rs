@@ -1,0 +1,218 @@
+//! Aggregated breakdown reports in the style of the paper's Figures 1/6/10.
+
+use crate::categories::{Category, Component};
+use crate::tally::Tally;
+
+/// One stacked-bar segment: a label plus its share of total cpu time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakdownRow {
+    /// Segment label, e.g. `work(lockmgr)`.
+    pub label: String,
+    /// Nanoseconds attributed to this segment across all threads.
+    pub nanos: u64,
+    /// Fraction of the report's cpu-time denominator, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// A multi-thread profile over a measurement window.
+///
+/// `wall_nanos * threads` is the total *potential* work in the window (the
+/// paper's "75 cpu-sec of potential work" example, Figure 5); the tally total
+/// is how much of that was actually attributed.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Sum of all per-thread tallies.
+    pub tally: Tally,
+    /// Wall-clock duration of the measurement window, nanoseconds.
+    pub wall_nanos: u64,
+    /// Number of measured threads.
+    pub threads: usize,
+}
+
+impl Report {
+    /// Aggregate per-thread tallies into a report.
+    pub fn from_tallies<'a>(
+        tallies: impl IntoIterator<Item = &'a Tally>,
+        wall_nanos: u64,
+        threads: usize,
+    ) -> Self {
+        let mut sum = Tally::new();
+        for t in tallies {
+            sum.merge(t);
+        }
+        Report {
+            tally: sum,
+            wall_nanos,
+            threads,
+        }
+    }
+
+    /// Total potential cpu-nanoseconds in the window (`wall * threads`).
+    pub fn potential(&self) -> u64 {
+        self.wall_nanos.saturating_mul(self.threads as u64)
+    }
+
+    /// Fraction of potential time the threads were doing *anything*
+    /// attributed (work, contention, lock waits, I/O). The paper calls a
+    /// system "fully utilized but not producing expected throughput" when
+    /// this is high but dominated by contention.
+    pub fn utilization(&self) -> f64 {
+        let busy = self.tally.total_work() + self.tally.total_contention();
+        ratio(busy, self.potential())
+    }
+
+    /// Fraction of cpu time (excluding lock/I/O waits) spent on useful work
+    /// in `comp`.
+    pub fn work_fraction(&self, comp: Component) -> f64 {
+        ratio(self.tally.get(Category::Work(comp)), self.tally.cpu_time())
+    }
+
+    /// Fraction of cpu time spent contending on latches owned by `comp`.
+    pub fn contention_fraction(&self, comp: Component) -> f64 {
+        ratio(
+            self.tally.get(Category::LatchWait(comp)),
+            self.tally.cpu_time(),
+        )
+    }
+
+    /// Figure 1's two series: (lock-manager work, lock-manager contention)
+    /// as fractions of cpu time.
+    pub fn lockmgr_overhead_and_contention(&self) -> (f64, f64) {
+        (
+            self.work_fraction(Component::LockManager),
+            self.contention_fraction(Component::LockManager),
+        )
+    }
+
+    /// Figure 6/10 style four-way split of cpu time:
+    /// `(work outside lockmgr, work in lockmgr, contention in lockmgr,
+    /// contention outside lockmgr)`, as fractions summing to ~1.
+    pub fn four_way_split(&self) -> (f64, f64, f64, f64) {
+        let cpu = self.tally.cpu_time();
+        let work_lm = self.tally.get(Category::Work(Component::LockManager));
+        let cont_lm = self.tally.get(Category::LatchWait(Component::LockManager));
+        let work_other = self.tally.total_work() - work_lm;
+        let cont_other = self.tally.total_contention() - cont_lm;
+        (
+            ratio(work_other, cpu),
+            ratio(work_lm, cpu),
+            ratio(cont_lm, cpu),
+            ratio(cont_other, cpu),
+        )
+    }
+
+    /// Full per-category breakdown, sorted by descending share, as fractions
+    /// of cpu time (lock/I/O waits reported against the same denominator so
+    /// they can exceed the stacked-bar budget, mirroring how the paper plots
+    /// them separately).
+    pub fn rows(&self) -> Vec<BreakdownRow> {
+        let cpu = self.tally.cpu_time().max(1);
+        let mut rows: Vec<BreakdownRow> = self
+            .tally
+            .iter_nonzero()
+            .map(|(cat, nanos)| BreakdownRow {
+                label: cat.label(),
+                nanos,
+                fraction: nanos as f64 / cpu as f64,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.nanos.cmp(&a.nanos));
+        rows
+    }
+
+    /// Render a fixed-width text table of [`Report::rows`].
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>8}",
+            "category", "nanos", "share"
+        );
+        for row in self.rows() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14} {:>7.2}%",
+                row.label,
+                row.nanos,
+                row.fraction * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "utilization {:.1}% of {} threads x {:.2}s",
+            self.utilization() * 100.0,
+            self.threads,
+            self.wall_nanos as f64 / 1e9
+        );
+        out
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut a = Tally::new();
+        a.add(Category::Work(Component::Application), 600);
+        a.add(Category::Work(Component::LockManager), 200);
+        a.add(Category::LatchWait(Component::LockManager), 150);
+        a.add(Category::LatchWait(Component::LogManager), 50);
+        a.add(Category::LockWait, 500);
+        a.add(Category::IoWait, 1000);
+        Report::from_tallies([&a], 2_000, 2)
+    }
+
+    #[test]
+    fn four_way_split_sums_to_one() {
+        let r = sample_report();
+        let (wo, wl, cl, co) = r.four_way_split();
+        assert!((wo + wl + cl + co - 1.0).abs() < 1e-9);
+        assert!((wl - 0.2).abs() < 1e-9);
+        assert!((cl - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lockmgr_series_match_manual_math() {
+        let r = sample_report();
+        let (work, cont) = r.lockmgr_overhead_and_contention();
+        // cpu time = 1000
+        assert!((work - 0.2).abs() < 1e-9);
+        assert!((cont - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_counts_work_and_contention_only() {
+        let r = sample_report();
+        // busy = 600+200+150+50 = 1000; potential = 2000*2 = 4000
+        assert!((r.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_sorted_descending() {
+        let r = sample_report();
+        let rows = r.rows();
+        for pair in rows.windows(2) {
+            assert!(pair[0].nanos >= pair[1].nanos);
+        }
+        assert!(r.render().contains("lock-wait"));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = Report::from_tallies(std::iter::empty(), 0, 0);
+        assert_eq!(r.utilization(), 0.0);
+        let (a, b, c, d) = r.four_way_split();
+        assert_eq!((a, b, c, d), (0.0, 0.0, 0.0, 0.0));
+        assert!(r.rows().is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-thread nanosecond tallies.
+
+use crate::categories::{Category, NUM_CATEGORIES};
+
+/// Nanoseconds accumulated per [`Category`] by one thread (or a sum over
+/// threads — tallies form a commutative monoid under [`Tally::merge`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    nanos: [u64; NUM_CATEGORIES],
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Nanoseconds recorded for `cat`.
+    #[inline]
+    pub fn get(&self, cat: Category) -> u64 {
+        self.nanos[cat.index()]
+    }
+
+    /// Add `nanos` to `cat`.
+    #[inline]
+    pub fn add(&mut self, cat: Category, nanos: u64) {
+        self.nanos[cat.index()] += nanos;
+    }
+
+    /// Accumulate another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        for i in 0..NUM_CATEGORIES {
+            self.nanos[i] += other.nanos[i];
+        }
+    }
+
+    /// Total attributed nanoseconds across all categories.
+    pub fn total(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Total nanoseconds of useful work (all `Work(_)` categories).
+    pub fn total_work(&self) -> u64 {
+        self.slot_sum(|c| c.is_work())
+    }
+
+    /// Total nanoseconds of physical contention (all `LatchWait(_)`).
+    pub fn total_contention(&self) -> u64 {
+        self.slot_sum(|c| c.is_contention())
+    }
+
+    /// Nanoseconds blocked on logical lock conflicts.
+    pub fn lock_wait(&self) -> u64 {
+        self.get(Category::LockWait)
+    }
+
+    /// Nanoseconds stalled on (simulated) I/O.
+    pub fn io_wait(&self) -> u64 {
+        self.get(Category::IoWait)
+    }
+
+    /// CPU-visible time: everything except lock waits and I/O waits. This is
+    /// the denominator for the paper's breakdown figures ("not counting time
+    /// spent blocked on I/O or true lock conflicts").
+    pub fn cpu_time(&self) -> u64 {
+        self.total() - self.lock_wait() - self.io_wait()
+    }
+
+    fn slot_sum(&self, pred: impl Fn(Category) -> bool) -> u64 {
+        crate::categories::ALL_CATEGORIES
+            .iter()
+            .filter(|c| pred(**c))
+            .map(|c| self.get(*c))
+            .sum()
+    }
+
+    /// Iterate over `(category, nanos)` pairs with nonzero time.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
+        crate::categories::ALL_CATEGORIES
+            .iter()
+            .map(|c| (*c, self.get(*c)))
+            .filter(|(_, n)| *n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::Component;
+
+    #[test]
+    fn add_and_get_roundtrip() {
+        let mut t = Tally::new();
+        t.add(Category::Work(Component::Storage), 42);
+        assert_eq!(t.get(Category::Work(Component::Storage)), 42);
+        assert_eq!(t.get(Category::Work(Component::LockManager)), 0);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let mut a = Tally::new();
+        a.add(Category::LockWait, 10);
+        a.add(Category::Work(Component::Application), 5);
+        let mut b = Tally::new();
+        b.add(Category::LockWait, 7);
+        a.merge(&b);
+        assert_eq!(a.lock_wait(), 17);
+        assert_eq!(a.total(), 22);
+    }
+
+    #[test]
+    fn cpu_time_excludes_lock_and_io_waits() {
+        let mut t = Tally::new();
+        t.add(Category::Work(Component::LockManager), 100);
+        t.add(Category::LatchWait(Component::LockManager), 50);
+        t.add(Category::LockWait, 1000);
+        t.add(Category::IoWait, 2000);
+        assert_eq!(t.cpu_time(), 150);
+        assert_eq!(t.total_work(), 100);
+        assert_eq!(t.total_contention(), 50);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let mut t = Tally::new();
+        t.add(Category::IoWait, 9);
+        let v: Vec<_> = t.iter_nonzero().collect();
+        assert_eq!(v, vec![(Category::IoWait, 9)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Scoped category timers.
+//!
+//! Each thread tracks a single *current* category plus a stack of suspended
+//! outer categories. [`enter`] attributes the time elapsed since the previous
+//! switch to the previous category and makes the new category current; when
+//! the returned [`Guard`] drops, the elapsed slice is attributed to the inner
+//! category and the outer one resumes. Outside any scope, time is simply not
+//! attributed (the harness brackets measurement windows with [`reset`] /
+//! [`take_tally`] and computes unaccounted time as `wall * threads - total`).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::categories::Category;
+use crate::tally::Tally;
+
+struct ThreadProf {
+    tally: Tally,
+    /// Current category; `None` when outside any profiled scope.
+    current: Option<Category>,
+    /// Instant of the last category switch.
+    last: Instant,
+    /// Suspended outer categories.
+    stack: Vec<Option<Category>>,
+}
+
+impl ThreadProf {
+    fn new() -> Self {
+        ThreadProf {
+            tally: Tally::new(),
+            current: None,
+            last: Instant::now(),
+            stack: Vec::with_capacity(16),
+        }
+    }
+
+    #[inline]
+    fn charge_elapsed(&mut self, now: Instant) {
+        if let Some(cat) = self.current {
+            let dt = now.duration_since(self.last).as_nanos() as u64;
+            self.tally.add(cat, dt);
+        }
+        self.last = now;
+    }
+}
+
+thread_local! {
+    static PROF: RefCell<ThreadProf> = RefCell::new(ThreadProf::new());
+}
+
+/// RAII scope: restores the enclosing category (and charges the inner one)
+/// on drop.
+#[must_use = "dropping the guard immediately ends the profiled scope"]
+pub struct Guard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Begin attributing time to `cat` until the returned guard drops.
+#[inline]
+pub fn enter(cat: Category) -> Guard {
+    PROF.with(|p| {
+        let mut p = p.borrow_mut();
+        let now = Instant::now();
+        p.charge_elapsed(now);
+        let prev = p.current;
+        p.stack.push(prev);
+        p.current = Some(cat);
+    });
+    Guard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for Guard {
+    #[inline]
+    fn drop(&mut self) {
+        PROF.with(|p| {
+            let mut p = p.borrow_mut();
+            let now = Instant::now();
+            p.charge_elapsed(now);
+            p.current = p.stack.pop().unwrap_or(None);
+        });
+    }
+}
+
+/// Zero this thread's tally and restart the clock. Call at the start of a
+/// measurement window.
+pub fn reset() {
+    PROF.with(|p| {
+        let mut p = p.borrow_mut();
+        p.tally = Tally::new();
+        p.last = Instant::now();
+    });
+}
+
+/// Return this thread's tally (including time charged so far to the current
+/// open scope) and reset it. Call at the end of a measurement window.
+pub fn take_tally() -> Tally {
+    PROF.with(|p| {
+        let mut p = p.borrow_mut();
+        let now = Instant::now();
+        p.charge_elapsed(now);
+        std::mem::take(&mut p.tally)
+    })
+}
+
+/// Copy this thread's tally without resetting it.
+pub fn snapshot_tally() -> Tally {
+    PROF.with(|p| {
+        let mut p = p.borrow_mut();
+        let now = Instant::now();
+        p.charge_elapsed(now);
+        p.tally.clone()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::Component;
+
+    #[test]
+    fn unscoped_time_is_not_attributed() {
+        reset();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t = take_tally();
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn deep_nesting_restores_correctly() {
+        reset();
+        let g1 = enter(Category::Work(Component::Application));
+        let g2 = enter(Category::Work(Component::LockManager));
+        let g3 = enter(Category::LatchWait(Component::LockManager));
+        drop(g3);
+        drop(g2);
+        drop(g1);
+        // After all guards drop, further time is unattributed.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let t = take_tally();
+        let attributed = t.total();
+        // All three categories appear (may be tiny but nonzero is not
+        // guaranteed at ns resolution for empty scopes, so just check sanity).
+        assert!(attributed < 1_000_000, "attributed = {attributed}");
+    }
+
+    #[test]
+    fn guard_drop_order_mismatch_is_tolerated() {
+        // Dropping guards out of order is a programming error but must not
+        // panic or corrupt the stack beyond the current scopes.
+        reset();
+        let g1 = enter(Category::Work(Component::Application));
+        let g2 = enter(Category::Work(Component::Storage));
+        drop(g1);
+        drop(g2);
+        let _ = take_tally();
+    }
+}

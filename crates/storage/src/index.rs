@@ -1,0 +1,237 @@
+//! Primary and secondary indexes.
+//!
+//! Keys are `u64` throughout: workloads pack composite keys (e.g. TPC-C's
+//! `(warehouse, district, order)`) into 64 bits with fixed-width fields, so
+//! ordered scans over packed prefixes work naturally on the
+//! [`OrderedIndex`]'s BTree.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sli_latch::RwLatch;
+use sli_profiler::Component;
+
+use crate::page::Rid;
+
+const SHARD_COUNT: usize = 64;
+
+fn shard_of(key: u64) -> usize {
+    // SplitMix-style scramble so sequential keys spread across shards.
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (z as usize) & (SHARD_COUNT - 1)
+}
+
+struct Shard<T> {
+    latch: RwLatch,
+    map: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: `map` is only accessed under `latch`.
+unsafe impl<T: Send> Send for Shard<T> {}
+unsafe impl<T: Send> Sync for Shard<T> {}
+
+impl<T: Default> Shard<T> {
+    fn new() -> Self {
+        Shard {
+            latch: RwLatch::new(Component::Storage),
+            map: std::cell::UnsafeCell::new(T::default()),
+        }
+    }
+
+    fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let _g = self.latch.read();
+        // SAFETY: shared latch held.
+        f(unsafe { &*self.map.get() })
+    }
+
+    fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let _g = self.latch.write();
+        // SAFETY: exclusive latch held.
+        f(unsafe { &mut *self.map.get() })
+    }
+}
+
+/// A sharded hash index: `u64` key to [`Rid`]. The default primary index of
+/// every table.
+pub struct HashIndex {
+    shards: Vec<Shard<HashMap<u64, Rid>>>,
+}
+
+impl HashIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        HashIndex {
+            shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<Rid> {
+        self.shards[shard_of(key)].read(|m| m.get(&key).copied())
+    }
+
+    /// Insert or replace; returns the previous RID if any.
+    pub fn insert(&self, key: u64, rid: Rid) -> Option<Rid> {
+        self.shards[shard_of(key)].write(|m| m.insert(key, rid))
+    }
+
+    /// Remove; returns the previous RID if any.
+    pub fn remove(&self, key: u64) -> Option<Rid> {
+        self.shards[shard_of(key)].write(|m| m.remove(&key))
+    }
+
+    /// Number of entries (diagnostics; latches every shard).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read(|m| m.len())).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for HashIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An ordered secondary index supporting range scans over packed keys.
+/// Single BTree under one reader-writer latch — matching the centralized
+/// B-tree root behaviour of the original engine.
+pub struct OrderedIndex {
+    inner: Shard<BTreeMap<u64, Rid>>,
+}
+
+impl OrderedIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        OrderedIndex {
+            inner: Shard::new(),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<Rid> {
+        self.inner.read(|m| m.get(&key).copied())
+    }
+
+    /// Insert or replace.
+    pub fn insert(&self, key: u64, rid: Rid) -> Option<Rid> {
+        self.inner.write(|m| m.insert(key, rid))
+    }
+
+    /// Remove.
+    pub fn remove(&self, key: u64) -> Option<Rid> {
+        self.inner.write(|m| m.remove(&key))
+    }
+
+    /// Collect `(key, rid)` pairs in `[lo, hi]`, capped at `limit`.
+    pub fn range(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Rid)> {
+        self.inner
+            .read(|m| m.range(lo..=hi).take(limit).map(|(k, v)| (*k, *v)).collect())
+    }
+
+    /// Last `(key, rid)` at or below `hi` within `[lo, hi]` (e.g. "newest
+    /// order for this customer").
+    pub fn last_in(&self, lo: u64, hi: u64) -> Option<(u64, Rid)> {
+        self.inner
+            .read(|m| m.range(lo..=hi).next_back().map(|(k, v)| (*k, *v)))
+    }
+
+    /// First `(key, rid)` at or above `lo` within `[lo, hi]` (e.g. "oldest
+    /// undelivered order").
+    pub fn first_in(&self, lo: u64, hi: u64) -> Option<(u64, Rid)> {
+        self.inner
+            .read(|m| m.range(lo..=hi).next().map(|(k, v)| (*k, *v)))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.read(|m| m.len())
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for OrderedIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_crud() {
+        let idx = HashIndex::new();
+        assert!(idx.get(5).is_none());
+        assert!(idx.insert(5, Rid::new(1, 2)).is_none());
+        assert_eq!(idx.get(5), Some(Rid::new(1, 2)));
+        assert_eq!(idx.insert(5, Rid::new(3, 4)), Some(Rid::new(1, 2)));
+        assert_eq!(idx.remove(5), Some(Rid::new(3, 4)));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn hash_index_concurrent_distinct_keys() {
+        let idx = std::sync::Arc::new(HashIndex::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = std::sync::Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let k = t * 1000 + i;
+                    idx.insert(k, Rid::new(t as u32, i as u16));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 8000);
+        assert_eq!(idx.get(3500), Some(Rid::new(3, 500)));
+    }
+
+    #[test]
+    fn ordered_range_and_endpoints() {
+        let idx = OrderedIndex::new();
+        for k in [10u64, 20, 30, 40, 50] {
+            idx.insert(k, Rid::new(k as u32, 0));
+        }
+        let hits = idx.range(15, 45, 10);
+        assert_eq!(
+            hits.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![20, 30, 40]
+        );
+        assert_eq!(idx.range(15, 45, 2).len(), 2, "limit respected");
+        assert_eq!(idx.last_in(0, 100).unwrap().0, 50);
+        assert_eq!(idx.first_in(25, 100).unwrap().0, 30);
+        assert!(idx.first_in(51, 100).is_none());
+    }
+
+    #[test]
+    fn ordered_remove() {
+        let idx = OrderedIndex::new();
+        idx.insert(1, Rid::new(0, 0));
+        assert_eq!(idx.remove(1), Some(Rid::new(0, 0)));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn shard_spread_is_reasonable() {
+        let mut counts = [0usize; SHARD_COUNT];
+        for k in 0..10_000u64 {
+            counts[shard_of(k)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < min * 3, "shard imbalance: min={min} max={max}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The log manager: appends, group commit, simulated flush latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use sli_profiler::{Category, Component};
+
+use crate::buffer::LogBuffer;
+use crate::record::{LogRecord, Lsn};
+
+/// Log manager configuration.
+#[derive(Clone, Debug)]
+pub struct LogConfig {
+    /// Simulated device latency per flush. Zero models the paper's
+    /// in-memory log device.
+    pub flush_latency: Duration,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            flush_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// Monotonic log counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Commit forces requested.
+    pub commits: u64,
+    /// Physical flushes performed (group commit batches).
+    pub flushes: u64,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+/// The write-ahead log manager.
+pub struct LogManager {
+    config: LogConfig,
+    buffer: LogBuffer,
+    durable: AtomicU64,
+    /// Serializes flushers; waiters park on the condvar for group commit.
+    flush_lock: Mutex<()>,
+    flush_cv: Condvar,
+    appends: AtomicU64,
+    commits: AtomicU64,
+    flushes: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl LogManager {
+    /// Create a log manager.
+    pub fn new(config: LogConfig) -> Self {
+        LogManager {
+            config,
+            buffer: LogBuffer::new(),
+            durable: AtomicU64::new(0),
+            flush_lock: Mutex::new(()),
+            flush_cv: Condvar::new(),
+            appends: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Append a record to the log buffer; returns the LSN to force for
+    /// durability.
+    pub fn append(&self, rec: LogRecord) -> Lsn {
+        let _work = sli_profiler::enter(Category::Work(Component::LogManager));
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.buffer.append(&rec)
+    }
+
+    /// Force the log up to `lsn` (commit point for `_txn`). Uses group
+    /// commit: if another thread is flushing, wait for its flush to cover
+    /// our LSN instead of issuing another.
+    pub fn commit(&self, _txn: u64, lsn: Lsn) {
+        let _work = sli_profiler::enter(Category::Work(Component::LogManager));
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if self.durable_lsn() >= lsn {
+            return;
+        }
+        let _guard = self.flush_lock.lock();
+        // Re-check under the lock: while we queued, an earlier flusher may
+        // have drained a batch containing our record — the group-commit win.
+        if self.durable_lsn() >= lsn {
+            return;
+        }
+        // We hold the flush lock: drain and flush everything pending. The
+        // lock is held across the (simulated) device time, exactly like a
+        // real single log device — committers arriving meanwhile queue up
+        // and ride the next batch together.
+        let (batch, upto) = self.buffer.drain();
+        debug_assert!(upto >= lsn, "drained log must cover our commit record");
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if !self.config.flush_latency.is_zero() {
+            let _io = sli_profiler::enter(Category::IoWait);
+            std::thread::sleep(self.config.flush_latency);
+        }
+        // `batch` is dropped here: the simulated device has no persistent
+        // medium. The LSN watermark is the durability contract.
+        self.durable.fetch_max(upto, Ordering::AcqRel);
+        self.flush_cv.notify_all();
+    }
+
+    /// Append an abort record (no force needed; aborts are lazy).
+    pub fn abort(&self, txn: u64) {
+        self.append(LogRecord::abort(txn));
+    }
+
+    /// Highest durable LSN.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LogStats {
+        LogStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogManager")
+            .field("durable_lsn", &self.durable_lsn())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_advances_durable_watermark() {
+        let log = LogManager::new(LogConfig::default());
+        let lsn = log.append(LogRecord::commit(1));
+        assert_eq!(log.durable_lsn(), 0);
+        log.commit(1, lsn);
+        assert_eq!(log.durable_lsn(), lsn);
+    }
+
+    #[test]
+    fn redundant_commit_is_a_noop() {
+        let log = LogManager::new(LogConfig::default());
+        let lsn = log.append(LogRecord::commit(1));
+        log.commit(1, lsn);
+        let flushes = log.stats().flushes;
+        log.commit(1, lsn);
+        assert_eq!(log.stats().flushes, flushes);
+    }
+
+    #[test]
+    fn abort_appends_without_forcing() {
+        let log = LogManager::new(LogConfig::default());
+        log.abort(3);
+        assert_eq!(log.stats().appends, 1);
+        assert_eq!(log.stats().flushes, 0);
+        assert_eq!(log.durable_lsn(), 0);
+    }
+
+    #[test]
+    fn flush_latency_is_respected() {
+        let log = LogManager::new(LogConfig {
+            flush_latency: Duration::from_millis(10),
+        });
+        let lsn = log.append(LogRecord::commit(1));
+        let t0 = std::time::Instant::now();
+        log.commit(1, lsn);
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+}

@@ -1,0 +1,28 @@
+//! # sli-workloads — the paper's three benchmarks
+//!
+//! Implements the ten transactions / mixes the paper evaluates (Section
+//! 5.1):
+//!
+//! * **NDBB / TM1** ([`tm1::Tm1`]): Nokia's Network Database Benchmark —
+//!   seven Home-Location-Register transactions over four tables, extremely
+//!   short (1-4 rows), with the paper's characteristic failure rates
+//!   (25-75 % of transactions fail on invalid inputs). Plus the "forward
+//!   mix" and the full NDBB mix.
+//! * **TPC-B** ([`tpcb::TpcB`]): the classic database stress test — one
+//!   deposit/withdrawal transaction touching all four tables.
+//! * **TPC-C** ([`tpcc::TpcC`]): the retailer OLTP benchmark — five
+//!   transactions, the paper's "small mix" (Payment / New Order / Order
+//!   Status at 46.7/48.9/4.3 %) and the full mix.
+//!
+//! Each transaction is hard-coded against the engine API, mirroring the
+//! paper's statically-compiled stored procedures.
+
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod mix;
+pub mod tm1;
+pub mod tpcb;
+pub mod tpcc;
+
+pub use mix::{MixedWorkload, Outcome};

@@ -1,0 +1,184 @@
+//! Transaction mixes: weighted selections of benchmark transactions.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sli_engine::{Session, TxnError};
+
+/// Outcome of one benchmark transaction attempt, matching the paper's
+/// accounting: *failed* transactions (invalid inputs) are part of normal
+/// NDBB behaviour and count toward the attempt rate; *system aborts*
+/// (deadlock/timeout victims) are retried by harness policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Committed successfully.
+    Commit,
+    /// Rolled back by application validation (the benchmark's expected
+    /// "failure due to invalid input").
+    UserFail,
+    /// Rolled back by the system (deadlock victim, lock timeout).
+    SysAbort,
+}
+
+impl Outcome {
+    /// Fold an engine result into an outcome.
+    pub fn from_result<T>(r: Result<T, TxnError>) -> Outcome {
+        match r {
+            Ok(_) => Outcome::Commit,
+            Err(TxnError::UserAbort(_)) | Err(TxnError::NotFound) => Outcome::UserFail,
+            Err(TxnError::Lock(_)) => Outcome::SysAbort,
+        }
+    }
+}
+
+/// A single named transaction within a mix.
+pub struct MixEntry {
+    /// Transaction name (e.g. `"getSub"`).
+    pub name: &'static str,
+    /// Relative weight (needn't sum to 1).
+    pub weight: f64,
+    /// Executes one instance.
+    pub run: Box<dyn Fn(&Session, &mut SmallRng) -> Outcome + Send + Sync>,
+}
+
+/// A weighted transaction mix, the unit the harness drives.
+pub struct MixedWorkload {
+    /// Display name (e.g. `"NDBB Mix"`).
+    pub name: String,
+    entries: Vec<MixEntry>,
+    cumulative: Vec<f64>,
+}
+
+impl MixedWorkload {
+    /// Build a mix from entries; weights are normalized internally.
+    pub fn new(name: impl Into<String>, entries: Vec<MixEntry>) -> Self {
+        assert!(!entries.is_empty(), "a mix needs at least one transaction");
+        let total: f64 = entries.iter().map(|e| e.weight).sum();
+        let mut acc = 0.0;
+        let cumulative = entries
+            .iter()
+            .map(|e| {
+                acc += e.weight / total;
+                acc
+            })
+            .collect();
+        MixedWorkload {
+            name: name.into(),
+            entries,
+            cumulative,
+        }
+    }
+
+    /// Pick one transaction by weight and run it.
+    pub fn run_one(&self, session: &Session, rng: &mut SmallRng) -> (usize, Outcome) {
+        let x: f64 = rng.gen();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|c| x <= *c)
+            .unwrap_or(self.entries.len() - 1);
+        let outcome = (self.entries[idx].run)(session, rng);
+        (idx, outcome)
+    }
+
+    /// Names of the transactions in this mix, in entry order.
+    pub fn transaction_names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Decompose into entries (for building merged mixes).
+    pub fn into_entries(self) -> Vec<MixEntry> {
+        self.entries
+    }
+
+    /// Merge several mixes into one, giving each part the given share of
+    /// the merged mix (entry weights are scaled within their part). Used by
+    /// the Section 4.4 *bimodal workload* experiment, where two transaction
+    /// groups with disjoint lock sets share the same agent threads.
+    pub fn merged(name: impl Into<String>, parts: Vec<(f64, MixedWorkload)>) -> Self {
+        let mut entries = Vec::new();
+        for (share, part) in parts {
+            let part_total: f64 = part.entries.iter().map(|e| e.weight).sum();
+            for mut e in part.into_entries() {
+                e.weight = e.weight / part_total * share;
+                entries.push(e);
+            }
+        }
+        MixedWorkload::new(name, entries)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the mix is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn noop_entry(name: &'static str, weight: f64) -> MixEntry {
+        MixEntry {
+            name,
+            weight,
+            run: Box::new(|_, _| Outcome::Commit),
+        }
+    }
+
+    fn dummy_session() -> Session {
+        let db = sli_engine::Database::open(sli_engine::DatabaseConfig::default());
+        db.session()
+    }
+
+    #[test]
+    fn weights_are_respected_approximately() {
+        let mix = MixedWorkload::new(
+            "m",
+            vec![noop_entry("a", 80.0), noop_entry("b", 20.0)],
+        );
+        let s = dummy_session();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            let (idx, _) = mix.run_one(&s, &mut rng);
+            counts[idx] += 1;
+        }
+        let frac_a = counts[0] as f64 / 10_000.0;
+        assert!((frac_a - 0.8).abs() < 0.03, "frac_a = {frac_a}");
+    }
+
+    #[test]
+    fn single_entry_mix_always_picks_it() {
+        let mix = MixedWorkload::new("m", vec![noop_entry("only", 1.0)]);
+        let s = dummy_session();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(mix.run_one(&s, &mut rng).0, 0);
+        }
+        assert_eq!(mix.transaction_names(), vec!["only"]);
+    }
+
+    #[test]
+    fn outcome_folding() {
+        assert_eq!(Outcome::from_result::<()>(Ok(())), Outcome::Commit);
+        assert_eq!(
+            Outcome::from_result::<()>(Err(TxnError::UserAbort("x"))),
+            Outcome::UserFail
+        );
+        assert_eq!(
+            Outcome::from_result::<()>(Err(TxnError::NotFound)),
+            Outcome::UserFail
+        );
+        assert_eq!(
+            Outcome::from_result::<()>(Err(TxnError::Lock(
+                sli_core::LockError::TxnAborted
+            ))),
+            Outcome::SysAbort
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # sli — Speculative Lock Inheritance
+//!
+//! Umbrella crate for the Rust reproduction of *"Improving OLTP Scalability
+//! using Speculative Lock Inheritance"* (Johnson, Pandis, Ailamaki —
+//! VLDB 2009). Re-exports the public API of every workspace crate so that
+//! examples and downstream users can depend on a single crate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sli::engine::{Database, DatabaseConfig};
+//! use sli::core::LockMode;
+//!
+//! let db = Database::open(DatabaseConfig::default());
+//! let accounts = db.create_table("accounts").unwrap();
+//! let session = db.session();
+//! session
+//!     .run(|txn| {
+//!         let rid = txn.insert(accounts, 1, b"100")?;
+//!         let val = txn.read(accounts, rid)?;
+//!         assert_eq!(&val[..], b"100");
+//!         Ok(())
+//!     })
+//!     .unwrap();
+//! assert_eq!(LockMode::S.compatible(LockMode::IS), true);
+//! ```
+
+pub use sli_core as core;
+pub use sli_engine as engine;
+pub use sli_harness as harness;
+pub use sli_latch as latch;
+pub use sli_profiler as profiler;
+pub use sli_storage as storage;
+pub use sli_wal as wal;
+pub use sli_workloads as workloads;

@@ -1,0 +1,162 @@
+//! Figure 3 as a test: lock release traverses the queue, satisfies pending
+//! upgrades first, then grants the contiguous prefix of compatible waiting
+//! requests.
+//!
+//! The figure's scenario: an S lock is held; the request list contains
+//! granted intent holders, an `IS => IX` upgrade in progress, and a tail of
+//! new waiting requests. When the S holder releases, (A) the queue is
+//! traversed, the upgrade is granted first, then (B) the next waiting
+//! request and (C) all compatible requests directly after it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sli::core::{
+    LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState,
+};
+
+fn manager() -> Arc<LockManager> {
+    let mut cfg = LockManagerConfig::baseline();
+    cfg.lock_timeout = Duration::from_secs(5);
+    LockManager::new(cfg)
+}
+
+const TABLE: LockId = LockId::Table(TableId(7));
+
+#[test]
+fn release_satisfies_upgrades_before_new_waiters() {
+    let m = manager();
+
+    // T1 holds S on the table.
+    let mut a1 = m.register_agent().unwrap();
+    let mut t1 = TxnLockState::new(a1.slot());
+    m.begin(&mut t1, &mut a1);
+    m.lock(&mut t1, &mut a1, TABLE, LockMode::S).unwrap();
+
+    // T2 holds IS and will upgrade to IX (blocked by T1's S).
+    let m2 = Arc::clone(&m);
+    let upgrader = std::thread::spawn(move || {
+        let mut a2 = m2.register_agent().unwrap();
+        let mut t2 = TxnLockState::new(a2.slot());
+        m2.begin(&mut t2, &mut a2);
+        m2.lock(&mut t2, &mut a2, TABLE, LockMode::IS).unwrap();
+        // Signal readiness through the lock manager state itself: the IS
+        // grant is visible to the main thread via the lock head.
+        m2.lock(&mut t2, &mut a2, TABLE, LockMode::IX).unwrap(); // blocks
+        let granted_at = std::time::Instant::now();
+        m2.end_txn(&mut t2, &mut a2, true);
+        granted_at
+    });
+
+    // Wait until the upgrade is enqueued (head has 1 waiter).
+    let head = loop {
+        if let Some(h) = m.head(TABLE) {
+            if h.waiters_hint() == 1 {
+                break h;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+
+    // T3 arrives later, waiting for S (compatible with S but must queue
+    // FIFO behind the conversion).
+    let m3 = Arc::clone(&m);
+    let waiter = std::thread::spawn(move || {
+        let mut a3 = m3.register_agent().unwrap();
+        let mut t3 = TxnLockState::new(a3.slot());
+        m3.begin(&mut t3, &mut a3);
+        m3.lock(&mut t3, &mut a3, TABLE, LockMode::S).unwrap(); // blocks
+        let granted_at = std::time::Instant::now();
+        m3.end_txn(&mut t3, &mut a3, true);
+        granted_at
+    });
+    while head.waiters_hint() < 2 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Release: T1 commits. The IX upgrade must be granted; the S waiter
+    // must wait for the upgrader's commit (S conflicts with IX).
+    std::thread::sleep(Duration::from_millis(20));
+    let released_at = std::time::Instant::now();
+    m.end_txn(&mut t1, &mut a1, true);
+
+    let upgrade_granted = upgrader.join().unwrap();
+    let s_granted = waiter.join().unwrap();
+    assert!(
+        upgrade_granted >= released_at,
+        "upgrade waited for the S release"
+    );
+    assert!(
+        s_granted >= upgrade_granted,
+        "the waiting S must not barge past the IS=>IX upgrade"
+    );
+}
+
+#[test]
+fn compatible_prefix_is_granted_together() {
+    let m = manager();
+
+    // Holder takes X; then three waiters queue: S, S, X, S.
+    let mut a0 = m.register_agent().unwrap();
+    let mut t0 = TxnLockState::new(a0.slot());
+    m.begin(&mut t0, &mut a0);
+    m.lock(&mut t0, &mut a0, TABLE, LockMode::X).unwrap();
+
+    let spawn_waiter = |mode: LockMode, hold_ms: u64| {
+        let m = Arc::clone(&m);
+        std::thread::spawn(move || {
+            let mut a = m.register_agent().unwrap();
+            let mut t = TxnLockState::new(a.slot());
+            m.begin(&mut t, &mut a);
+            m.lock(&mut t, &mut a, TABLE, mode).unwrap();
+            let granted = std::time::Instant::now();
+            std::thread::sleep(Duration::from_millis(hold_ms));
+            m.end_txn(&mut t, &mut a, true);
+            granted
+        })
+    };
+
+    let head = loop {
+        if let Some(h) = m.head(TABLE) {
+            break h;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    // Enqueue in deterministic order by waiting for the waiter count.
+    let w1 = spawn_waiter(LockMode::S, 30);
+    while head.waiters_hint() < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let w2 = spawn_waiter(LockMode::S, 30);
+    while head.waiters_hint() < 2 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let w3 = spawn_waiter(LockMode::X, 10);
+    while head.waiters_hint() < 3 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let w4 = spawn_waiter(LockMode::S, 10);
+    while head.waiters_hint() < 4 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    m.end_txn(&mut t0, &mut a0, true); // release X
+
+    let g1 = w1.join().unwrap();
+    let g2 = w2.join().unwrap();
+    let g3 = w3.join().unwrap();
+    let g4 = w4.join().unwrap();
+
+    // The two leading S grants happen together (within the same release),
+    // well before the X (which waits for both to commit ~30ms later).
+    let lead_gap = if g1 > g2 { g1 - g2 } else { g2 - g1 };
+    assert!(
+        lead_gap < Duration::from_millis(20),
+        "S prefix granted together, gap = {lead_gap:?}"
+    );
+    assert!(g3 > g1.max(g2), "X granted after the S prefix");
+    assert!(
+        g4 >= g3,
+        "trailing S must not barge past the waiting X (FIFO)"
+    );
+}
