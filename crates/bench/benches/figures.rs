@@ -32,9 +32,7 @@ fn main() {
 
     // `cargo bench` passes flags like `--bench`; accept an optional figure
     // filter as the first non-flag argument.
-    let filter: Option<String> = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'));
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
 
     let scale = ExperimentScale::from_env();
     eprintln!(
@@ -45,7 +43,8 @@ fn main() {
         scale.measure.as_millis()
     );
 
-    let all: &[(&str, fn(&ExperimentScale))] = &[
+    type FigureFn = fn(&ExperimentScale);
+    let all: &[(&str, FigureFn)] = &[
         ("fig1", |s| {
             figures::fig1(s);
         }),

@@ -5,9 +5,7 @@
 //! pair with one atomic compare-and-swap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sli_core::{
-    LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState,
-};
+use sli_core::{LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState};
 
 fn rec(p: u32, s: u16) -> LockId {
     LockId::Record(TableId(1), p, s)

@@ -69,20 +69,32 @@ impl AgentSet {
     }
 }
 
+/// One cache line per digest slot so concurrent publishers on different
+/// agents never false-share (stand-in for `crossbeam::utils::CachePadded`).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
 /// Shared table of published digests, one per agent slot.
 pub struct DigestTable {
-    slots: Vec<crossbeam::utils::CachePadded<[AtomicU64; DIGEST_WORDS]>>,
+    slots: Vec<CachePadded<[AtomicU64; DIGEST_WORDS]>>,
 }
 
 impl DigestTable {
     /// Create a table for up to `max_agents` slots (sizing is advisory; all
     /// slots fold into 256 digest bits).
     pub fn new(max_agents: usize) -> Self {
-        let n = max_agents.min(DIGEST_BITS).max(1);
+        let n = max_agents.clamp(1, DIGEST_BITS);
         DigestTable {
             slots: (0..n)
                 .map(|_| {
-                    crossbeam::utils::CachePadded::new([
+                    CachePadded([
                         AtomicU64::new(0),
                         AtomicU64::new(0),
                         AtomicU64::new(0),
@@ -101,8 +113,8 @@ impl DigestTable {
     /// Publish `digest` as agent `agent`'s transitive wait set.
     pub fn publish(&self, agent: u32, digest: &AgentSet) {
         let slot = self.slot(agent);
-        for i in 0..DIGEST_WORDS {
-            slot[i].store(digest.words[i], Ordering::Release);
+        for (w, v) in slot.iter().zip(digest.words) {
+            w.store(v, Ordering::Release);
         }
     }
 
@@ -118,8 +130,8 @@ impl DigestTable {
     pub fn read(&self, agent: u32) -> AgentSet {
         let slot = self.slot(agent);
         let mut out = AgentSet::new();
-        for i in 0..DIGEST_WORDS {
-            out.words[i] = slot[i].load(Ordering::Acquire);
+        for (o, w) in out.words.iter_mut().zip(slot) {
+            *o = w.load(Ordering::Acquire);
         }
         out
     }
@@ -189,7 +201,7 @@ mod tests {
         for round in 0..5 {
             for (me, blocker) in edges {
                 if t.check_and_publish(me, &[blocker]) {
-                    assert!(round >= 1 || me == edges[2].0 || true);
+                    let _ = round;
                     return; // detected
                 }
             }

@@ -184,15 +184,12 @@ impl LockQueue {
         // Step 2: FIFO prefix of waiting requests. Pending conversions that
         // couldn't be satisfied above retain priority: a new waiter may not
         // barge past an upgrade whose target conflicts with it.
-        loop {
-            let Some(req) = self
-                .reqs
-                .iter()
-                .find(|r| r.status() == RequestStatus::Waiting)
-                .cloned()
-            else {
-                break;
-            };
+        while let Some(req) = self
+            .reqs
+            .iter()
+            .find(|r| r.status() == RequestStatus::Waiting)
+            .cloned()
+        {
             let blocked_by_convert = self.reqs.iter().any(|r| {
                 r.status() == RequestStatus::Converting
                     && !req.convert_to().compatible(r.convert_to())
@@ -301,9 +298,7 @@ impl LockQueue {
             let blocks = match st {
                 _ if st.holds_lock() && !mode.compatible(r.mode()) => true,
                 RequestStatus::Converting if !mode.compatible(r.convert_to()) => true,
-                RequestStatus::Waiting if before_me && !mode.compatible(r.convert_to()) => {
-                    true
-                }
+                RequestStatus::Waiting if before_me && !mode.compatible(r.convert_to()) => true,
                 _ => false,
             };
             if blocks {
@@ -331,11 +326,6 @@ impl LockQueue {
     /// Queue is completely empty (head removable).
     pub fn is_empty(&self) -> bool {
         self.reqs.is_empty()
-    }
-
-    #[cfg(test)]
-    pub(crate) fn counts(&self) -> [u32; NUM_MODES] {
-        self.granted_counts
     }
 }
 
@@ -379,6 +369,33 @@ impl LockHead {
     pub fn latch(&self) -> QueueGuard<'_> {
         let inner = self.queue.lock();
         self.hot.record(inner.was_contended());
+        QueueGuard { head: self, inner }
+    }
+
+    /// Latch the queue on behalf of agent `me`'s acquire path, feeding the
+    /// hot tracker a *popularity* sample: the acquisition counts as
+    /// contended if the latch itself contended **or** another agent
+    /// actively holds a request on this lock. Raw latch collisions alone
+    /// under-report heat here — this engine's head critical sections are
+    /// tens of nanoseconds against multi-microsecond transactions, unlike
+    /// Shore-MT where lock-manager latching dominates — while cross-agent
+    /// sharing at acquire time is exactly the condition that makes a
+    /// release + re-acquire pair recur, which is what criterion 2 exists
+    /// to detect.
+    ///
+    /// Parked `Inherited` requests deliberately do not count as sharing:
+    /// their owner is idle, and counting them would keep a lock hot (and
+    /// therefore re-inherited) forever after real concurrency ends.
+    pub fn latch_for_acquire(&self, me: u32) -> QueueGuard<'_> {
+        let inner = self.queue.lock();
+        let shared = inner.reqs.iter().any(|r| {
+            r.agent() != me
+                && matches!(
+                    r.status(),
+                    RequestStatus::Granted | RequestStatus::Converting
+                )
+        });
+        self.hot.record(inner.was_contended() || shared);
         QueueGuard { head: self, inner }
     }
 

@@ -36,10 +36,8 @@ impl HotTracker {
         let cur = self.state.load(Ordering::Relaxed);
         let bits = (cur & 0xFFFF) << 1 | contended as u32;
         let count = ((cur >> COUNT_SHIFT) + 1).min(WINDOW_MAX);
-        self.state.store(
-            (count << COUNT_SHIFT) | (bits & 0xFFFF),
-            Ordering::Relaxed,
-        );
+        self.state
+            .store((count << COUNT_SHIFT) | (bits & 0xFFFF), Ordering::Relaxed);
     }
 
     /// Fraction of the last `window` acquisitions that contended, in
@@ -52,7 +50,11 @@ impl HotTracker {
         if count < window {
             return 0.0;
         }
-        let mask = if window == 32 { u32::MAX } else { (1 << window) - 1 };
+        let mask = if window == 32 {
+            u32::MAX
+        } else {
+            (1 << window) - 1
+        };
         let set = (cur & 0xFFFF & mask).count_ones();
         set as f64 / window as f64
     }

@@ -31,14 +31,7 @@ impl LockTable {
     pub fn new(buckets: usize) -> Self {
         let n = buckets.next_power_of_two().max(16);
         let buckets = (0..n)
-            .map(|_| {
-                Latched::new(
-                    Component::LockManager,
-                    Bucket {
-                        heads: Vec::new(),
-                    },
-                )
-            })
+            .map(|_| Latched::new(Component::LockManager, Bucket { heads: Vec::new() }))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         LockTable {
@@ -176,7 +169,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut ptrs = Vec::new();
                 for i in 0..100u32 {
-                    ptrs.push(Arc::as_ptr(&t.get_or_create(LockId::Page(TableId(1), i % 4))) as usize);
+                    ptrs.push(
+                        Arc::as_ptr(&t.get_or_create(LockId::Page(TableId(1), i % 4))) as usize,
+                    );
                 }
                 ptrs
             }));
@@ -184,8 +179,7 @@ mod tests {
         let all: Vec<Vec<usize>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         // For each of the 4 ids, every thread must have seen the same head.
         for k in 0..4 {
-            let firsts: std::collections::HashSet<usize> =
-                all.iter().map(|v| v[k]).collect();
+            let firsts: std::collections::HashSet<usize> = all.iter().map(|v| v[k]).collect();
             assert_eq!(firsts.len(), 1);
         }
         assert_eq!(t.len(), 4);

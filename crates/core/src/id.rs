@@ -106,14 +106,9 @@ impl LockId {
         let raw: u64 = match self {
             LockId::Database => 0x0100_0000_0000_0000,
             LockId::Table(t) => 0x0200_0000_0000_0000 | t.0 as u64,
-            LockId::Page(t, p) => {
-                0x0300_0000_0000_0000 | ((t.0 as u64) << 32) | p as u64
-            }
+            LockId::Page(t, p) => 0x0300_0000_0000_0000 | ((t.0 as u64) << 32) | p as u64,
             LockId::Record(t, p, s) => {
-                0x0400_0000_0000_0000
-                    | ((t.0 as u64) << 40)
-                    | ((p as u64) << 16)
-                    | s as u64
+                0x0400_0000_0000_0000 | ((t.0 as u64) << 40) | ((p as u64) << 16) | s as u64
             }
         };
         // SplitMix64 finalizer.

@@ -7,7 +7,6 @@
 //! passes locks to the agent's inherited list or releases them with a
 //! Figure 3 grant pass.
 
-
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -104,9 +103,7 @@ impl LockManager {
         }
         let _sli = sli_profiler::enter(Category::Work(Component::Sli));
         // Validate coarse-to-fine so each child can consult its parent.
-        agent
-            .inherited
-            .sort_by_key(|(r, _)| r.lock_id().level());
+        agent.inherited.sort_by_key(|(r, _)| r.lock_id().level());
         let entries = std::mem::take(&mut agent.inherited);
         // Hand-off lists are small (<= max_inherited_per_txn); a linear
         // scan beats hashing on this hot path.
@@ -126,8 +123,7 @@ impl LockManager {
             let st = req.status();
             if st == RequestStatus::Inherited && parent_ok {
                 valid.push((id, true));
-                ts.cache
-                    .insert(id, (Arc::clone(&req), Arc::clone(&head)));
+                ts.cache.insert(id, (Arc::clone(&req), Arc::clone(&head)));
                 agent.inherited.push((req, head));
             } else {
                 valid.push((id, false));
@@ -187,9 +183,7 @@ impl LockManager {
         // --- lock-cache fast paths -------------------------------------
         if let Some((req, head)) = ts.cache.get(&id).cloned() {
             match req.status() {
-                RequestStatus::Granted | RequestStatus::Converting
-                    if req.txn() == ts.txn_seq =>
-                {
+                RequestStatus::Granted | RequestStatus::Converting if req.txn() == ts.txn_seq => {
                     if req.mode().implies(mode) {
                         self.stats.on_cache_hit();
                         return Ok(());
@@ -277,7 +271,7 @@ impl LockManager {
             let req;
             let must_wait;
             {
-                let mut q = head.latch();
+                let mut q = head.latch_for_acquire(ts.agent_slot);
                 if q.zombie {
                     continue; // raced with head removal; re-probe
                 }
@@ -374,9 +368,12 @@ impl LockManager {
                 // Poll: re-run the grant pass (a lock may have been
                 // inherited after we enqueued; the pass invalidates such
                 // blockers), then collect blockers for Dreadlocks.
+                // Untracked: repeated polls by one blocked thread say
+                // nothing new about demand and would flood the hot window
+                // with cold samples on exactly the locks that have waiters.
                 blockers.clear();
                 {
-                    let mut q = head.latch();
+                    let mut q = head.latch_untracked();
                     q.grant_pass(&self.stats);
                     if req.status() != RequestStatus::Granted {
                         q.collect_blockers(req, mode, &mut blockers);
@@ -453,9 +450,7 @@ impl LockManager {
                         let keep = commit
                             && sli_cfg.enabled
                             && (unused as u32) < sli_cfg.hysteresis
-                            && head
-                                .hot()
-                                .is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
+                            && head.hot().is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
                         if keep {
                             req.unused_generations.store(unused + 1, Ordering::Relaxed);
                             agent.inherited.push((req, head));
@@ -463,10 +458,7 @@ impl LockManager {
                             self.discard_inherited(&req, &head);
                         }
                     }
-                    other => debug_assert!(
-                        false,
-                        "inherited entry in impossible state {other:?}"
-                    ),
+                    other => debug_assert!(false, "inherited entry in impossible state {other:?}"),
                 }
             }
         }
@@ -479,8 +471,7 @@ impl LockManager {
             let _sli = sli_profiler::enter(Category::Work(Component::Sli));
             let mut decided: Vec<(LockId, bool)> = Vec::with_capacity(n.min(64));
             let mut inherited_count = 0usize;
-            for i in 0..n {
-                let (req, head) = &ts.requests[i];
+            for (i, (req, head)) in ts.requests.iter().enumerate() {
                 let id = req.lock_id();
                 let mode = req.mode();
                 let parent_ok = id.parent().map(|p| {
@@ -563,9 +554,7 @@ impl LockManager {
         inherited: bool,
     ) {
         let sli_cfg = &self.config.sli;
-        let hot = head
-            .hot()
-            .is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
+        let hot = head.hot().is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
         let class = if hot {
             let heritable = id.level() <= sli_cfg.min_level
                 && mode.is_shared_for_sli()
@@ -604,7 +593,10 @@ impl LockManager {
     /// manager).
     fn discard_inherited(&self, req: &Arc<LockRequest>, head: &Arc<LockHead>) {
         {
-            let mut q = head.latch();
+            // Untracked: dropping an unused hand-off is maintenance, not
+            // demand — a cold sample here would cool the lock at the very
+            // moment other agents' hysteresis decisions consult it.
+            let mut q = head.latch_untracked();
             // Serialized with invalidators by the latch; our own reclaim
             // cannot race (we are the owning agent).
             if req.status() == RequestStatus::Inherited {
@@ -675,10 +667,14 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 2, 3), LockMode::X).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 2, 3), LockMode::X)
+            .unwrap();
         assert_eq!(ts.held_mode(LockId::Database), Some(LockMode::IX));
         assert_eq!(ts.held_mode(LockId::Table(TableId(1))), Some(LockMode::IX));
-        assert_eq!(ts.held_mode(LockId::Page(TableId(1), 2)), Some(LockMode::IX));
+        assert_eq!(
+            ts.held_mode(LockId::Page(TableId(1), 2)),
+            Some(LockMode::IX)
+        );
         assert_eq!(ts.held_mode(rec(1, 2, 3)), Some(LockMode::X));
         assert_eq!(ts.locks_held(), 4);
         m.end_txn(&mut ts, &mut agent, true);
@@ -692,9 +688,11 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         let before = m.stats().snapshot();
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         let after = m.stats().snapshot();
         assert_eq!(after.lock_requests, before.lock_requests);
         assert!(after.cache_hits > before.cache_hits);
@@ -710,7 +708,8 @@ mod tests {
         m.lock(&mut ts, &mut agent, LockId::Table(TableId(1)), LockMode::S)
             .unwrap();
         let before = ts.locks_held();
-        m.lock(&mut ts, &mut agent, rec(1, 5, 5), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 5, 5), LockMode::S)
+            .unwrap();
         assert_eq!(ts.locks_held(), before, "covered: no new locks");
         assert!(m.stats().snapshot().coverage_hits >= 1);
         m.end_txn(&mut ts, &mut agent, true);
@@ -722,8 +721,10 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::X).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::X)
+            .unwrap();
         assert_eq!(ts.held_mode(rec(1, 0, 0)), Some(LockMode::X));
         // Ancestors upgraded IS -> IX as well.
         assert_eq!(ts.held_mode(LockId::Table(TableId(1))), Some(LockMode::IX));
@@ -745,7 +746,8 @@ mod tests {
             let mut ts2 = TxnLockState::new(a2.slot());
             m2.begin(&mut ts2, &mut a2);
             let started = std::time::Instant::now();
-            m2.lock(&mut ts2, &mut a2, rec(1, 0, 0), LockMode::X).unwrap();
+            m2.lock(&mut ts2, &mut a2, rec(1, 0, 0), LockMode::X)
+                .unwrap();
             let waited = started.elapsed();
             m2.end_txn(&mut ts2, &mut a2, true);
             waited
@@ -762,7 +764,8 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         // Make db/table/page hot before commit.
         heat(&m, LockId::Database);
         heat(&m, LockId::Table(TableId(1)));
@@ -782,7 +785,8 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         heat(&m, LockId::Database);
         heat(&m, LockId::Table(TableId(1)));
         heat(&m, LockId::Page(TableId(1), 0));
@@ -790,7 +794,8 @@ mod tests {
 
         let before = m.stats().snapshot();
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 1), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 1), LockMode::S)
+            .unwrap();
         let after = m.stats().snapshot();
         assert_eq!(after.sli_reclaimed - before.sli_reclaimed, 3);
         // Only the record itself went through the lock manager.
@@ -805,7 +810,8 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         heat(&m, LockId::Database);
         heat(&m, LockId::Table(TableId(1)));
         heat(&m, LockId::Page(TableId(1), 0));
@@ -814,7 +820,8 @@ mod tests {
 
         // Next transaction touches a different table entirely.
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(2, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(2, 0, 0), LockMode::S)
+            .unwrap();
         m.end_txn(&mut ts, &mut agent, true);
         let snap = m.stats().snapshot();
         // db lock was reclaimed (same root); table/page of table 1 discarded.
@@ -849,7 +856,10 @@ mod tests {
         let t0 = std::time::Instant::now();
         m.lock(&mut ts1, &mut a1, LockId::Table(TableId(1)), LockMode::X)
             .unwrap();
-        assert!(t0.elapsed() < Duration::from_millis(100), "should not block");
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "should not block"
+        );
         let snap = m.stats().snapshot();
         assert!(snap.sli_invalidated >= 1);
         m.end_txn(&mut ts1, &mut a1, true);
@@ -869,7 +879,8 @@ mod tests {
         let mut a0 = m.register_agent().unwrap();
         let mut ts0 = TxnLockState::new(a0.slot());
         m.begin(&mut ts0, &mut a0);
-        m.lock(&mut ts0, &mut a0, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts0, &mut a0, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         heat(&m, LockId::Database);
         heat(&m, LockId::Table(TableId(1)));
         heat(&m, LockId::Page(TableId(1), 0));
@@ -888,7 +899,8 @@ mod tests {
         // Agent 0 re-reads the same record: the orphaned page inheritance
         // must NOT be reclaimed even though its status is still Inherited.
         m.begin(&mut ts0, &mut a0);
-        m.lock(&mut ts0, &mut a0, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts0, &mut a0, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         assert_eq!(ts0.held_mode(rec(1, 0, 0)), Some(LockMode::S));
         m.end_txn(&mut ts0, &mut a0, true);
         // The page entry was invalidated as an orphan rather than reclaimed:
@@ -939,7 +951,8 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::X).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::X)
+            .unwrap();
         heat(&m, LockId::Table(TableId(1)));
         m.end_txn(&mut ts, &mut agent, false);
         assert_eq!(agent.inherited_count(), 0);
@@ -953,7 +966,8 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         heat(&m, LockId::Database);
         heat(&m, LockId::Table(TableId(1)));
         heat(&m, LockId::Page(TableId(1), 0));
@@ -970,7 +984,8 @@ mod tests {
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
-        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
         heat(&m, LockId::Database);
         heat(&m, LockId::Table(TableId(1)));
         heat(&m, LockId::Page(TableId(1), 0));
@@ -1141,7 +1156,9 @@ mod policy_tests {
             heat(&m, LockId::Page(TableId(2), 0));
             m.end_txn(&mut ts, &mut agent, true);
             assert!(
-                agent.inherited_ids().any(|id| id == LockId::Table(TableId(1))),
+                agent
+                    .inherited_ids()
+                    .any(|id| id == LockId::Table(TableId(1))),
                 "table-1 lock dropped too early"
             );
         }
@@ -1151,7 +1168,9 @@ mod policy_tests {
         m.lock(&mut ts, &mut agent, rec(2, 1), LockMode::S).unwrap();
         m.end_txn(&mut ts, &mut agent, true);
         assert!(
-            !agent.inherited_ids().any(|id| id == LockId::Table(TableId(1))),
+            !agent
+                .inherited_ids()
+                .any(|id| id == LockId::Table(TableId(1))),
             "hysteresis must be bounded"
         );
         m.retire_agent(&mut agent);
@@ -1194,10 +1213,7 @@ mod policy_tests {
             .unwrap();
         m.lock(&mut ts, &mut agent, LockId::Table(TableId(1)), LockMode::IX)
             .unwrap();
-        assert_eq!(
-            ts.held_mode(LockId::Table(TableId(1))),
-            Some(LockMode::SIX)
-        );
+        assert_eq!(ts.held_mode(LockId::Table(TableId(1))), Some(LockMode::SIX));
         // SIX covers child reads but not child writes.
         m.lock(&mut ts, &mut agent, rec(1, 3), LockMode::S).unwrap();
         assert_eq!(

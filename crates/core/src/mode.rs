@@ -108,7 +108,9 @@ impl LockMode {
     pub fn covers_child(self, child: LockMode) -> bool {
         match self {
             // S implicitly holds S on all children.
-            LockMode::S | LockMode::SIX => matches!(child, LockMode::NL | LockMode::IS | LockMode::S),
+            LockMode::S | LockMode::SIX => {
+                matches!(child, LockMode::NL | LockMode::IS | LockMode::S)
+            }
             // X implicitly holds X on all children.
             LockMode::X => true,
             _ => child == LockMode::NL,

@@ -47,11 +47,7 @@ impl AgentSliState {
 
     /// Remove a specific request (it was reclaimed or invalidated).
     pub(crate) fn remove(&mut self, req: &Arc<LockRequest>) {
-        if let Some(pos) = self
-            .inherited
-            .iter()
-            .position(|(r, _)| Arc::ptr_eq(r, req))
-        {
+        if let Some(pos) = self.inherited.iter().position(|(r, _)| Arc::ptr_eq(r, req)) {
             self.inherited.swap_remove(pos);
         }
     }
@@ -238,8 +234,10 @@ mod tests {
     fn ablation_toggles_relax_individual_criteria() {
         let tid = LockId::Table(TableId(1));
         let hot = hot_head(tid);
-        let mut cfg = SliConfig::default();
-        cfg.require_shared_mode = false;
+        let cfg = SliConfig {
+            require_shared_mode: false,
+            ..SliConfig::default()
+        };
         assert!(is_inheritance_candidate(
             &cfg,
             tid,
@@ -247,8 +245,10 @@ mod tests {
             &hot,
             Some(true)
         ));
-        let mut cfg = SliConfig::default();
-        cfg.require_parent = false;
+        let cfg = SliConfig {
+            require_parent: false,
+            ..SliConfig::default()
+        };
         assert!(is_inheritance_candidate(
             &cfg,
             tid,
@@ -256,8 +256,10 @@ mod tests {
             &hot,
             Some(false)
         ));
-        let mut cfg = SliConfig::default();
-        cfg.min_level = crate::id::LockLevel::Record;
+        let cfg = SliConfig {
+            min_level: crate::id::LockLevel::Record,
+            ..SliConfig::default()
+        };
         let rid = LockId::Record(TableId(1), 0, 0);
         assert!(is_inheritance_candidate(
             &cfg,
@@ -274,7 +276,12 @@ mod tests {
         let id = LockId::Table(TableId(1));
         let head = LockHead::new(id);
         let r1 = Arc::new(LockRequest::new_granted(id, 3, 1, LockMode::IS));
-        let r2 = Arc::new(LockRequest::new_granted(LockId::Database, 3, 1, LockMode::IS));
+        let r2 = Arc::new(LockRequest::new_granted(
+            LockId::Database,
+            3,
+            1,
+            LockMode::IS,
+        ));
         a.inherited.push((Arc::clone(&r1), Arc::clone(&head)));
         a.inherited
             .push((Arc::clone(&r2), LockHead::new(LockId::Database)));

@@ -66,9 +66,7 @@ impl TxnLockState {
     pub fn held_mode(&self, id: LockId) -> Option<LockMode> {
         let (req, _) = self.cache.get(&id)?;
         match req.status() {
-            RequestStatus::Granted | RequestStatus::Converting
-                if req.txn() == self.txn_seq =>
-            {
+            RequestStatus::Granted | RequestStatus::Converting if req.txn() == self.txn_seq => {
                 Some(req.mode())
             }
             _ => None,

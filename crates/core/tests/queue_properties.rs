@@ -144,7 +144,7 @@ proptest! {
         // Drain: release everything and verify the queue empties.
         {
             let mut q = head.latch_untracked();
-            let all: Vec<_> = live.drain(..).collect();
+            let all: Vec<_> = std::mem::take(&mut live);
             for r in all {
                 if r.status().holds_lock() {
                     q.release(&r, &stats);

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use sli_core::{LockManager, LockManagerConfig, LockStatsSnapshot, TableId};
-use sli_storage::{BufferPool, BufferPoolConfig, BufferPoolStats, HashIndex, HeapTable, OrderedIndex, Rid};
+use sli_storage::{
+    BufferPool, BufferPoolConfig, BufferPoolStats, HashIndex, HeapTable, OrderedIndex, Rid,
+};
 use sli_wal::{LogConfig, LogManager, LogStats};
 
 use crate::session::Session;
@@ -30,7 +32,7 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// Configuration for a [`Database`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DatabaseConfig {
     /// Lock manager + SLI settings.
     pub lock: LockManagerConfig,
@@ -45,17 +47,6 @@ pub struct DatabaseConfig {
     /// the baseline lock-manager share into the paper's 10-25 % band
     /// (see EXPERIMENTS.md "calibration").
     pub row_work_ns: u64,
-}
-
-impl Default for DatabaseConfig {
-    fn default() -> Self {
-        DatabaseConfig {
-            lock: LockManagerConfig::default(),
-            log: LogConfig::default(),
-            pool: BufferPoolConfig::default(),
-            row_work_ns: 0,
-        }
-    }
 }
 
 impl DatabaseConfig {

@@ -258,12 +258,7 @@ impl Txn<'_> {
     }
 
     /// Overwrite a record by RID under an X lock.
-    pub fn update(
-        &mut self,
-        table: TableHandle,
-        rid: Rid,
-        data: &[u8],
-    ) -> Result<(), TxnError> {
+    pub fn update(&mut self, table: TableHandle, rid: Rid, data: &[u8]) -> Result<(), TxnError> {
         self.record_lock(table, rid, LockMode::X)?;
         let t = self.db.table(table);
         self.db.pool.access(table.0, rid.page);
@@ -300,12 +295,7 @@ impl Txn<'_> {
     }
 
     /// Insert a record with a primary key.
-    pub fn insert(
-        &mut self,
-        table: TableHandle,
-        key: u64,
-        data: &[u8],
-    ) -> Result<Rid, TxnError> {
+    pub fn insert(&mut self, table: TableHandle, key: u64, data: &[u8]) -> Result<Rid, TxnError> {
         self.insert_with_okey(table, key, None, data)
     }
 

@@ -1,8 +1,8 @@
 //! Diagnostic: NewOrder baseline vs SLI at fixed agent count, reporting
 //! sys-aborts and SLI counters to explain Figure 11 outliers.
-use std::time::Duration;
 use sli_harness::driver::{run_workload, RunConfig};
 use sli_harness::setup::{tpcc_workloads, ExperimentScale};
+use std::time::Duration;
 
 fn main() {
     let mut scale = ExperimentScale::from_env();
@@ -10,7 +10,12 @@ fn main() {
     scale.warmup = Duration::from_millis(300);
     for sli in [false, true] {
         for w in tpcc_workloads(&scale, sli, &["NewOrder", "Delivery", "StockLevel"]) {
-            let cfg = RunConfig { agents: scale.max_agents, warmup: scale.warmup, measure: scale.measure, seed: 5 };
+            let cfg = RunConfig {
+                agents: scale.max_agents,
+                warmup: scale.warmup,
+                measure: scale.measure,
+                seed: 5,
+            };
             let r = run_workload(&w.db, &w.mix, &cfg);
             let d = &r.lock_delta;
             println!(

@@ -133,8 +133,10 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
         let wall = t0.elapsed();
         let lock_after = db.lock_stats();
         phase.store(PHASE_STOP, Ordering::Release);
-        let outcomes: Vec<AgentOutcome> =
-            handles.into_iter().map(|h| h.join().expect("agent")).collect();
+        let outcomes: Vec<AgentOutcome> = handles
+            .into_iter()
+            .map(|h| h.join().expect("agent"))
+            .collect();
         (outcomes, wall, lock_after.delta(&lock_before))
     });
 

@@ -112,61 +112,70 @@ pub fn fig5(scale: &ExperimentScale) -> Vec<Fig5Row> {
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         // One busy thread.
-        handles.push(("busy", s.spawn({
-            let w = window;
-            move || {
-                sli_profiler::reset();
-                let t0 = std::time::Instant::now();
-                while t0.elapsed() < w {
-                    let _g = sli_profiler::enter(Category::Work(Component::Application));
-                    std::hint::spin_loop();
+        handles.push((
+            "busy",
+            s.spawn({
+                let w = window;
+                move || {
+                    sli_profiler::reset();
+                    let t0 = std::time::Instant::now();
+                    while t0.elapsed() < w {
+                        let _g = sli_profiler::enter(Category::Work(Component::Application));
+                        std::hint::spin_loop();
+                    }
+                    sli_profiler::take_tally()
                 }
-                sli_profiler::take_tally()
-            }
-        })));
+            }),
+        ));
         // Two serializing threads: hold the latch for 1ms at a time.
         for _ in 0..2 {
             let latch = Arc::clone(&latch);
             let w = window;
-            handles.push(("serialized", s.spawn(move || {
-                sli_profiler::reset();
-                let t0 = std::time::Instant::now();
-                while t0.elapsed() < w {
-                    let _work = sli_profiler::enter(Category::Work(Component::Application));
-                    let _g = latch.acquire();
-                    let h0 = std::time::Instant::now();
-                    while h0.elapsed() < Duration::from_micros(900) {
-                        std::hint::spin_loop();
+            handles.push((
+                "serialized",
+                s.spawn(move || {
+                    sli_profiler::reset();
+                    let t0 = std::time::Instant::now();
+                    while t0.elapsed() < w {
+                        let _work = sli_profiler::enter(Category::Work(Component::Application));
+                        let _g = latch.acquire();
+                        let h0 = std::time::Instant::now();
+                        while h0.elapsed() < Duration::from_micros(900) {
+                            std::hint::spin_loop();
+                        }
                     }
-                }
-                sli_profiler::take_tally()
-            })));
+                    sli_profiler::take_tally()
+                }),
+            ));
         }
         // Two daemon threads: mostly asleep.
         for _ in 0..2 {
             let w = window;
-            handles.push(("daemon", s.spawn(move || {
-                sli_profiler::reset();
-                let t0 = std::time::Instant::now();
-                while t0.elapsed() < w {
-                    {
-                        let _g = sli_profiler::enter(Category::Work(Component::Other));
-                        let h0 = std::time::Instant::now();
-                        while h0.elapsed() < Duration::from_micros(50) {
-                            std::hint::spin_loop();
+            handles.push((
+                "daemon",
+                s.spawn(move || {
+                    sli_profiler::reset();
+                    let t0 = std::time::Instant::now();
+                    while t0.elapsed() < w {
+                        {
+                            let _g = sli_profiler::enter(Category::Work(Component::Other));
+                            let h0 = std::time::Instant::now();
+                            while h0.elapsed() < Duration::from_micros(50) {
+                                std::hint::spin_loop();
+                            }
                         }
+                        std::thread::sleep(Duration::from_millis(5));
                     }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                sli_profiler::take_tally()
-            })));
+                    sli_profiler::take_tally()
+                }),
+            ));
         }
         println!("\n== Figure 5: profiler work accounting (5 threads, one window) ==");
         println!("{:>12} {:>8} {:>12}", "role", "busy%", "contention%");
         for (role, h) in handles {
             let tally = h.join().expect("fig5 thread");
-            let busy = (tally.total_work() + tally.total_contention()) as f64
-                / window.as_nanos() as f64;
+            let busy =
+                (tally.total_work() + tally.total_contention()) as f64 / window.as_nanos() as f64;
             let cont = tally.total_contention() as f64 / window.as_nanos() as f64;
             let row = Fig5Row {
                 role,
@@ -626,8 +635,7 @@ pub fn roving_hotspot(scale: &ExperimentScale) -> Vec<AblationRow> {
                 run: Box::new({
                     let seq = Arc::clone(&seq);
                     move |s, rng| {
-                        let key =
-                            seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                        let key = seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                         let val: u64 = rng.gen();
                         sli_workloads::Outcome::from_result(s.run(|txn| {
                             txn.insert(history, key, &val.to_le_bytes())?;

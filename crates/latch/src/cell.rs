@@ -57,7 +57,9 @@ impl<T> Latched<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for Latched<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Latched").field("latch", &self.latch).finish_non_exhaustive()
+        f.debug_struct("Latched")
+            .field("latch", &self.latch)
+            .finish_non_exhaustive()
     }
 }
 

@@ -116,7 +116,7 @@ impl Report {
                 fraction: nanos as f64 / cpu as f64,
             })
             .collect();
-        rows.sort_by(|a, b| b.nanos.cmp(&a.nanos));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.nanos));
         rows
     }
 
@@ -124,11 +124,7 @@ impl Report {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<24} {:>14} {:>8}",
-            "category", "nanos", "share"
-        );
+        let _ = writeln!(out, "{:<24} {:>14} {:>8}", "category", "nanos", "share");
         for row in self.rows() {
             let _ = writeln!(
                 out,

@@ -14,7 +14,9 @@ use crate::page::{Rid, SlottedPage, SLOTS_PER_PAGE};
 pub struct HeapTable {
     /// Page directory: append-only, pages never deallocated. Readers of
     /// existing pages take the directory latch shared; growth takes it
-    /// exclusive.
+    /// exclusive. Pages are boxed so directory growth moves pointers, not
+    /// whole slotted pages.
+    #[allow(clippy::vec_box)]
     dir: parking_lot::RwLock<Vec<Box<Latched<SlottedPage>>>>,
     /// Hint: first page that might have free slots.
     insert_hint: AtomicU32,
@@ -52,8 +54,7 @@ impl HeapTable {
                     if let Some(slot) = p.insert(data.clone()) {
                         self.live_records.fetch_add(1, Ordering::Relaxed);
                         if p.is_full() {
-                            self.insert_hint
-                                .fetch_max(i as u32 + 1, Ordering::Relaxed);
+                            self.insert_hint.fetch_max(i as u32 + 1, Ordering::Relaxed);
                         }
                         return Rid::new(i as u32, slot);
                     }
@@ -77,8 +78,7 @@ impl HeapTable {
         p.restore(rid.slot, data);
         self.live_records.fetch_add(1, Ordering::Relaxed);
         drop(p);
-        self.insert_hint
-            .fetch_min(rid.page, Ordering::Relaxed);
+        self.insert_hint.fetch_min(rid.page, Ordering::Relaxed);
     }
 
     /// Read the record at `rid`.

@@ -129,8 +129,12 @@ impl OrderedIndex {
 
     /// Collect `(key, rid)` pairs in `[lo, hi]`, capped at `limit`.
     pub fn range(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Rid)> {
-        self.inner
-            .read(|m| m.range(lo..=hi).take(limit).map(|(k, v)| (*k, *v)).collect())
+        self.inner.read(|m| {
+            m.range(lo..=hi)
+                .take(limit)
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        })
     }
 
     /// Last `(key, rid)` at or below `hi` within `[lo, hi]` (e.g. "newest

@@ -42,7 +42,6 @@ mod tests {
     fn group_commit_makes_all_waiters_durable() {
         let log = Arc::new(LogManager::new(LogConfig {
             flush_latency: std::time::Duration::from_millis(2),
-            ..LogConfig::default()
         }));
         let mut handles = Vec::new();
         for t in 0..8u64 {

@@ -37,8 +37,11 @@ pub struct MixEntry {
     /// Relative weight (needn't sum to 1).
     pub weight: f64,
     /// Executes one instance.
-    pub run: Box<dyn Fn(&Session, &mut SmallRng) -> Outcome + Send + Sync>,
+    pub run: MixFn,
 }
+
+/// Boxed transaction body driven by [`MixedWorkload`].
+pub type MixFn = Box<dyn Fn(&Session, &mut SmallRng) -> Outcome + Send + Sync>;
 
 /// A weighted transaction mix, the unit the harness drives.
 pub struct MixedWorkload {
@@ -137,10 +140,7 @@ mod tests {
 
     #[test]
     fn weights_are_respected_approximately() {
-        let mix = MixedWorkload::new(
-            "m",
-            vec![noop_entry("a", 80.0), noop_entry("b", 20.0)],
-        );
+        let mix = MixedWorkload::new("m", vec![noop_entry("a", 80.0), noop_entry("b", 20.0)]);
         let s = dummy_session();
         let mut rng = SmallRng::seed_from_u64(42);
         let mut counts = [0usize; 2];
@@ -175,9 +175,7 @@ mod tests {
             Outcome::UserFail
         );
         assert_eq!(
-            Outcome::from_result::<()>(Err(TxnError::Lock(
-                sli_core::LockError::TxnAborted
-            ))),
+            Outcome::from_result::<()>(Err(TxnError::Lock(sli_core::LockError::TxnAborted))),
             Outcome::SysAbort
         );
     }

@@ -129,7 +129,12 @@ impl Tm1 {
             put_u32(&mut sub, sub_field::BYTE2, rng.gen());
             put_u64(&mut sub, sub_field::MSC_LOCATION, rng.gen());
             put_u64(&mut sub, sub_field::VLR_LOCATION, rng.gen());
-            put_filler(&mut sub, sub_field::FILLER, SUBSCRIBER_LEN - sub_field::FILLER, s_id);
+            put_filler(
+                &mut sub,
+                sub_field::FILLER,
+                SUBSCRIBER_LEN - sub_field::FILLER,
+                s_id,
+            );
             db.bulk_insert(t.subscriber, s_id, None, &sub);
 
             // 1-4 access_info rows on distinct ai_types.
@@ -153,7 +158,12 @@ impl Tm1 {
                 put_u8(&mut sf, 9, rng.gen_bool(0.85) as u8); // is_active
                 put_u8(&mut sf, 10, rng.gen());
                 put_u8(&mut sf, 11, rng.gen());
-                put_filler(&mut sf, 12, SPECIAL_FACILITY_LEN - 12, s_id ^ (sf_type as u64) << 8);
+                put_filler(
+                    &mut sf,
+                    12,
+                    SPECIAL_FACILITY_LEN - 12,
+                    s_id ^ (sf_type as u64) << 8,
+                );
                 db.bulk_insert(t.special_facility, sf_key(s_id, sf_type), None, &sf);
 
                 // Each start slot {0,8,16} present with p = 0.5;
@@ -216,12 +226,12 @@ impl Tm1 {
             if get_u8(&sf, 9) == 0 {
                 return Ok(false); // inactive: empty result, still commits
             }
-            let cf = match txn.read_by_key(self.t.call_forwarding, cf_key(s_id, sf_type, start_slot))
-            {
-                Ok(row) => row,
-                Err(TxnError::NotFound) => return Ok(false),
-                Err(e) => return Err(e),
-            };
+            let cf =
+                match txn.read_by_key(self.t.call_forwarding, cf_key(s_id, sf_type, start_slot)) {
+                    Ok(row) => row,
+                    Err(TxnError::NotFound) => return Ok(false),
+                    Err(e) => return Err(e),
+                };
             let start_time = get_u8(&cf, 9);
             let end_time = get_u8(&cf, 10);
             Ok(end_time > start_time + 8 * j)
@@ -232,16 +242,16 @@ impl Tm1 {
     pub fn get_access_data(&self, s: &Session, rng: &mut SmallRng) -> Outcome {
         let s_id = self.rand_sid(rng);
         let ai_type = rng.gen_range(1..=4u8);
-        complete(s.run(|txn| {
-            match txn.read_by_key(self.t.access_info, ai_key(s_id, ai_type)) {
+        complete(s.run(
+            |txn| match txn.read_by_key(self.t.access_info, ai_key(s_id, ai_type)) {
                 Ok(row) => {
                     let _d1 = get_u8(&row, 9);
                     Ok(true)
                 }
                 Err(TxnError::NotFound) => Ok(false),
                 Err(e) => Err(e),
-            }
-        }))
+            },
+        ))
     }
 
     /// UPDATE_SUBSCRIBER_DATA: update profile bits + facility data.
@@ -323,8 +333,11 @@ impl Tm1 {
         let start_slot = rng.gen_range(0..3u8);
         complete(s.run(|txn| {
             let _sub = txn.read_by_key(self.t.subscriber, s_id)?;
-            match txn.delete_by_key(self.t.call_forwarding, cf_key(s_id, sf_type, start_slot), None)
-            {
+            match txn.delete_by_key(
+                self.t.call_forwarding,
+                cf_key(s_id, sf_type, start_slot),
+                None,
+            ) {
                 Ok(()) => Ok(true),
                 Err(TxnError::NotFound) => Ok(false), // zero rows: commits
                 Err(e) => Err(e),
@@ -444,12 +457,7 @@ mod tests {
         assert!((cf - 3.75).abs() < 0.5, "cf rows/sub = {cf}");
     }
 
-    fn measure_fail_rate(
-        tm1: &Arc<Tm1>,
-        db: &Arc<Database>,
-        kind: Tm1Txn,
-        n: usize,
-    ) -> f64 {
+    fn measure_fail_rate(tm1: &Arc<Tm1>, db: &Arc<Database>, kind: Tm1Txn, n: usize) -> f64 {
         let s = db.session();
         let mut rng = SmallRng::seed_from_u64(99);
         let mut fails = 0;
@@ -473,9 +481,15 @@ mod tests {
         );
         assert_eq!(measure_fail_rate(&tm1, &db, Tm1Txn::UpdateLocation, n), 0.0);
         let get_access = measure_fail_rate(&tm1, &db, Tm1Txn::GetAccessData, n);
-        assert!((get_access - 0.375).abs() < 0.05, "getAccess fail {get_access}");
+        assert!(
+            (get_access - 0.375).abs() < 0.05,
+            "getAccess fail {get_access}"
+        );
         let update_sub = measure_fail_rate(&tm1, &db, Tm1Txn::UpdateSubscriberData, n);
-        assert!((update_sub - 0.375).abs() < 0.05, "updateSub fail {update_sub}");
+        assert!(
+            (update_sub - 0.375).abs() < 0.05,
+            "updateSub fail {update_sub}"
+        );
         let get_dest = measure_fail_rate(&tm1, &db, Tm1Txn::GetNewDestination, n);
         assert!((get_dest - 0.761).abs() < 0.05, "getDest fail {get_dest}");
     }

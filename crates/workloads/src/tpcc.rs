@@ -228,8 +228,7 @@ impl TpcC {
                 }
 
                 // Initial orders: the newest 30 % are undelivered.
-                let delivered_upto =
-                    (scale.initial_orders_per_district as f64 * 0.7) as u64;
+                let delivered_upto = (scale.initial_orders_per_district as f64 * 0.7) as u64;
                 for o in 1..=scale.initial_orders_per_district {
                     let c = rng.gen_range(1..=scale.customers_per_district);
                     let ol_cnt = rng.gen_range(5..=15u64);
@@ -338,9 +337,9 @@ impl TpcC {
                     let newq = if q - qty >= 10 { q - qty } else { q - qty + 91 };
                     put_i64(&mut row, stock_field::QUANTITY, newq);
                     let v = get_i64(&row, stock_field::YTD) + qty;
-                put_i64(&mut row, stock_field::YTD, v);
+                    put_i64(&mut row, stock_field::YTD, v);
                     let v = get_i64(&row, stock_field::ORDER_CNT) + 1;
-                put_i64(&mut row, stock_field::ORDER_CNT, v);
+                    put_i64(&mut row, stock_field::ORDER_CNT, v);
                     row
                 })?;
                 let amount = price * qty;
@@ -480,9 +479,9 @@ impl TpcC {
                 txn.update_by_key(self.t.customer, cust_key(w, d, c_id), |old| {
                     let mut row = old.to_vec();
                     let v = get_i64(&row, customer_field::BALANCE) + amount_sum;
-                put_i64(&mut row, customer_field::BALANCE, v);
+                    put_i64(&mut row, customer_field::BALANCE, v);
                     let v = get_i64(&row, customer_field::DELIVERY_CNT) + 1;
-                put_i64(&mut row, customer_field::DELIVERY_CNT, v);
+                    put_i64(&mut row, customer_field::DELIVERY_CNT, v);
                     row
                 })?;
             }

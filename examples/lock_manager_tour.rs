@@ -8,18 +8,28 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sli::core::{
-    LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState,
-};
+use sli::core::{LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState};
 
 fn main() {
     println!("== 1. the mode lattice ==");
-    for a in [LockMode::IS, LockMode::IX, LockMode::S, LockMode::SIX, LockMode::X] {
-        let compat: Vec<String> = [LockMode::IS, LockMode::IX, LockMode::S, LockMode::SIX, LockMode::X]
-            .iter()
-            .filter(|b| a.compatible(**b))
-            .map(|b| b.to_string())
-            .collect();
+    for a in [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::SIX,
+        LockMode::X,
+    ] {
+        let compat: Vec<String> = [
+            LockMode::IS,
+            LockMode::IX,
+            LockMode::S,
+            LockMode::SIX,
+            LockMode::X,
+        ]
+        .iter()
+        .filter(|b| a.compatible(**b))
+        .map(|b| b.to_string())
+        .collect();
         println!("  {a:>3} compatible with: {}", compat.join(" "));
     }
     println!("  sup(S, IX) = {}", LockMode::S.supremum(LockMode::IX));
@@ -61,8 +71,13 @@ fn main() {
     );
     let before = m.stats().snapshot();
     m.begin(&mut ts, &mut agent);
-    m.lock(&mut ts, &mut agent, LockId::Record(TableId(1), 7, 4), LockMode::S)
-        .unwrap();
+    m.lock(
+        &mut ts,
+        &mut agent,
+        LockId::Record(TableId(1), 7, 4),
+        LockMode::S,
+    )
+    .unwrap();
     let after = m.stats().snapshot();
     println!(
         "  next txn: {} locks reclaimed via CAS, {} fresh lock-manager requests",
@@ -87,10 +102,11 @@ fn main() {
         waited
     });
     let waited = handle.join().unwrap();
+    println!("  table X acquired in {waited:?} (inherited locks invalidated, not waited on)");
     println!(
-        "  table X acquired in {waited:?} (inherited locks invalidated, not waited on)"
+        "  invalidations so far: {}",
+        m.stats().snapshot().sli_invalidated
     );
-    println!("  invalidations so far: {}", m.stats().snapshot().sli_invalidated);
 
     println!("\n== 5. deadlock detection (Dreadlocks) ==");
     let mcfg = {
@@ -121,9 +137,6 @@ fn main() {
     let (r1, r2) = (h1.join().unwrap(), h2.join().unwrap());
     println!("  txn1: {r1:?}");
     println!("  txn2: {r2:?}");
-    println!(
-        "  exactly one victim: {}",
-        (r1.is_err() ^ r2.is_err())
-    );
+    println!("  exactly one victim: {}", (r1.is_err() ^ r2.is_err()));
     m.retire_agent(&mut agent);
 }

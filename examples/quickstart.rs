@@ -68,5 +68,8 @@ fn main() {
         "lock manager: {} requests, {} cache hits, {} SLI reclaims, {} commits",
         stats.lock_requests, stats.cache_hits, stats.sli_reclaimed, stats.commits
     );
-    println!("inherited locks currently parked on this session: {}", session.inherited_locks());
+    println!(
+        "inherited locks currently parked on this session: {}",
+        session.inherited_locks()
+    );
 }

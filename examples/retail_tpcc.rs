@@ -71,7 +71,10 @@ fn main() {
             }
         }
     }
-    println!("\n{:>12} {:>10} {:>10} {:>10}", "txn", "commits", "fails", "aborts");
+    println!(
+        "\n{:>12} {:>10} {:>10} {:>10}",
+        "txn", "commits", "fails", "aborts"
+    );
     for (name, c) in names.iter().zip(&totals) {
         println!("{:>12} {:>10} {:>10} {:>10}", name, c[0], c[1], c[2]);
     }

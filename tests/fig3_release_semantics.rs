@@ -11,9 +11,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sli::core::{
-    LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState,
-};
+use sli::core::{LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState};
 
 fn manager() -> Arc<LockManager> {
     let mut cfg = LockManagerConfig::baseline();

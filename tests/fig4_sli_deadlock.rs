@@ -81,7 +81,10 @@ fn inherited_lock_is_invalidated_instead_of_deadlocking() {
     m.end_txn(&mut t1, &mut a1, true);
 
     let stats = m.stats().snapshot();
-    assert!(stats.sli_invalidated >= 1, "the inheritance was invalidated");
+    assert!(
+        stats.sli_invalidated >= 1,
+        "the inheritance was invalidated"
+    );
     assert_eq!(stats.deadlocks, 0, "no deadlock may occur in this scenario");
 }
 

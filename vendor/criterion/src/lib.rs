@@ -1,0 +1,215 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal stand-in. It implements the classic
+//! `criterion_group!`/`criterion_main!` + `Criterion::bench_function`
+//! surface with a simple but honest measurement loop: per-iteration timing
+//! over a warm-up and a measurement window, reporting mean / p50 / p99
+//! nanoseconds and iterations per second. No statistical regression
+//! machinery, plots, or HTML reports.
+//!
+//! Respects `--bench`-style harness flags well enough for
+//! `cargo bench` / `cargo test --benches` to run, and accepts an optional
+//! substring filter argument like real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver: collects per-iteration samples for one target.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly: warm-up, then sample until the
+    /// measurement window closes or `sample_size` batches are collected.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also used to size batches so one batch is ~100µs.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = if warm_iters == 0 {
+            Duration::from_micros(100)
+        } else {
+            self.warm_up_time / (warm_iters as u32).max(1)
+        };
+        let batch = (Duration::from_micros(100).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 20) as u64;
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement_time && self.samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+        if self.samples.is_empty() {
+            // Degenerate window: record at least one sample.
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark configuration and registry (subset of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut filter = None;
+        let mut list_only = false;
+        let mut test_mode = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--bench" | "--profile-time" => {}
+                "--list" => list_only = true,
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {
+                    // Flag with a value (e.g. --save-baseline x): skip it.
+                    if i + 1 < args.len() && !args[i + 1].starts_with('-') {
+                        i += 1;
+                    }
+                }
+                a => filter = Some(a.to_string()),
+            }
+            i += 1;
+        }
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter,
+            list_only,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Length of the measurement window.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Length of the warm-up window.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark target.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if self.list_only {
+            println!("{id}: bench");
+            return self;
+        }
+        let (measurement_time, warm_up_time) = if self.test_mode {
+            // `cargo test --benches` smoke mode: one quick pass.
+            (Duration::from_millis(1), Duration::from_millis(1))
+        } else {
+            (self.measurement_time, self.warm_up_time)
+        };
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            measurement_time,
+            warm_up_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+        let p50 = ns[ns.len() / 2];
+        let p99 = ns[((ns.len() * 99) / 100).min(ns.len() - 1)];
+        let per_sec = 1_000_000_000u128.checked_div(mean).unwrap_or(0);
+        println!("{id:<48} mean {mean:>10} ns  p50 {p50:>10} ns  p99 {p99:>10} ns  ({per_sec}/s)");
+        self
+    }
+
+    /// Final summary hook (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut n = 0u64;
+        c.bench_function("smoke/increment", |b| {
+            b.iter(|| {
+                n = n.wrapping_add(1);
+                black_box(n)
+            })
+        });
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,505 @@
+//! Vendored, API-compatible subset of the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal stand-in implementing exactly the surface the SLI crates
+//! use: `Mutex`/`MutexGuard`, `Condvar` (with `wait`/`wait_for`),
+//! `RwLock`, and the raw primitives `RawMutex`/`RawRwLock` together with
+//! the `lock_api` traits they implement.
+//!
+//! Blocking primitives are built on `std::sync`; the raw primitives use a
+//! bounded spin (with `yield_now`) before falling back to short parked
+//! sleeps, approximating parking_lot's adaptive spin-then-park behaviour
+//! closely enough for correctness and for the latch-contention accounting
+//! the paper reproduction relies on.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// `lock_api`-compatible raw lock traits (subset).
+pub mod lock_api {
+    /// Raw mutual-exclusion primitive, `lock_api::RawMutex` subset.
+    ///
+    /// # Safety
+    ///
+    /// Implementations must provide mutual exclusion: between a successful
+    /// `lock`/`try_lock` and the matching `unlock`, no other `lock` or
+    /// `try_lock` may succeed.
+    pub unsafe trait RawMutex {
+        /// Initial (unlocked) value.
+        const INIT: Self;
+        /// Acquire the lock, blocking until available.
+        fn lock(&self);
+        /// Try to acquire the lock without blocking.
+        fn try_lock(&self) -> bool;
+        /// Release the lock.
+        ///
+        /// # Safety
+        ///
+        /// Callable only by the current holder of the lock.
+        unsafe fn unlock(&self);
+    }
+
+    /// Raw reader-writer primitive, `lock_api::RawRwLock` subset.
+    ///
+    /// # Safety
+    ///
+    /// Implementations must uphold shared/exclusive semantics: an exclusive
+    /// holder excludes all others; shared holders exclude exclusive ones.
+    pub unsafe trait RawRwLock {
+        /// Initial (unlocked) value.
+        const INIT: Self;
+        /// Acquire in shared mode, blocking until available.
+        fn lock_shared(&self);
+        /// Try to acquire in shared mode without blocking.
+        fn try_lock_shared(&self) -> bool;
+        /// Release a shared acquisition.
+        ///
+        /// # Safety
+        ///
+        /// Callable only by a current shared holder.
+        unsafe fn unlock_shared(&self);
+        /// Acquire in exclusive mode, blocking until available.
+        fn lock_exclusive(&self);
+        /// Try to acquire in exclusive mode without blocking.
+        fn try_lock_exclusive(&self) -> bool;
+        /// Release an exclusive acquisition.
+        ///
+        /// # Safety
+        ///
+        /// Callable only by the current exclusive holder.
+        unsafe fn unlock_exclusive(&self);
+    }
+}
+
+const SPIN_LIMIT: u32 = 64;
+const PARK_SLEEP: Duration = Duration::from_micros(50);
+
+#[inline]
+fn backoff(attempt: u32) {
+    if attempt < SPIN_LIMIT {
+        std::hint::spin_loop();
+    } else if attempt < SPIN_LIMIT * 2 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(PARK_SLEEP);
+    }
+}
+
+/// Raw spin-then-park mutex (stand-in for `parking_lot::RawMutex`).
+pub struct RawMutex {
+    state: AtomicUsize,
+}
+
+unsafe impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex {
+        state: AtomicUsize::new(0),
+    };
+
+    #[inline]
+    fn lock(&self) {
+        let mut attempt = 0u32;
+        while self
+            .state
+            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff(attempt);
+            attempt = attempt.wrapping_add(1);
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    #[inline]
+    unsafe fn unlock(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+}
+
+const WRITER: usize = usize::MAX;
+
+/// Raw spin-then-park reader-writer lock (stand-in for
+/// `parking_lot::RawRwLock`). Writers take priority via a pending flag so
+/// a stream of readers cannot starve a writer indefinitely.
+pub struct RawRwLock {
+    /// `0` = free, `WRITER` = exclusively held, else the shared count.
+    state: AtomicUsize,
+    /// Number of writers waiting; readers defer to them.
+    pending_writers: AtomicUsize,
+}
+
+unsafe impl lock_api::RawRwLock for RawRwLock {
+    const INIT: RawRwLock = RawRwLock {
+        state: AtomicUsize::new(0),
+        pending_writers: AtomicUsize::new(0),
+    };
+
+    #[inline]
+    fn lock_shared(&self) {
+        let mut attempt = 0u32;
+        loop {
+            if self.pending_writers.load(Ordering::Relaxed) == 0 && self.try_lock_shared() {
+                return;
+            }
+            backoff(attempt);
+            attempt = attempt.wrapping_add(1);
+        }
+    }
+
+    #[inline]
+    fn try_lock_shared(&self) -> bool {
+        let cur = self.state.load(Ordering::Relaxed);
+        cur != WRITER
+            && self
+                .state
+                .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    #[inline]
+    unsafe fn unlock_shared(&self) {
+        self.state.fetch_sub(1, Ordering::Release);
+    }
+
+    #[inline]
+    fn lock_exclusive(&self) {
+        self.pending_writers.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0u32;
+        while self
+            .state
+            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff(attempt);
+            attempt = attempt.wrapping_add(1);
+        }
+        self.pending_writers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn try_lock_exclusive(&self) -> bool {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    #[inline]
+    unsafe fn unlock_exclusive(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+}
+
+/// Mutex with parking_lot's panic-free, non-poisoning API.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking the current thread until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Try to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`].
+///
+/// The inner `Option` is always `Some` between `Condvar` waits; it exists
+/// so `Condvar::wait` can move the std guard out and back through `&mut`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable compatible with [`Mutex`]/[`MutexGuard`].
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing the guard's mutex while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok(pair) => pair,
+            Err(e) => e.into_inner(),
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wake one parked waiter.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        true
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Reader-writer lock with parking_lot's non-poisoning API.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire in shared mode.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Acquire in exclusive mode.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Try to acquire in shared mode without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire in exclusive mode without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            None => f.write_str("RwLock { <locked> }"),
+        }
+    }
+}
+
+/// Shared-mode RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive-mode RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::{RawMutex as _, RawRwLock as _};
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let m = RawMutex::INIT;
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        unsafe { m.unlock() };
+        assert!(m.try_lock());
+        unsafe { m.unlock() };
+    }
+
+    #[test]
+    fn raw_rwlock_shared_and_exclusive() {
+        let l = RawRwLock::INIT;
+        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared());
+        assert!(!l.try_lock_exclusive());
+        unsafe { l.unlock_shared() };
+        unsafe { l.unlock_shared() };
+        assert!(l.try_lock_exclusive());
+        assert!(!l.try_lock_shared());
+        unsafe { l.unlock_exclusive() };
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn condvar_cross_thread_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,452 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal stand-in: random-input property testing with the familiar
+//! `proptest! { fn prop(x in strategy) { ... } }` macro surface, `Strategy`
+//! combinators (`prop_map`, `prop_oneof!`, `Just`, ranges, collections,
+//! tuples, `any::<T>()`), and `prop_assert*` macros.
+//!
+//! Differences from real proptest: failing inputs are *not* shrunk (the
+//! failing case's seed and debug rendering are reported instead), and
+//! strategies are simple random generators rather than value trees. Case
+//! counts honour `ProptestConfig::with_cases` and can be globally capped
+//! with the `PROPTEST_CASES` environment variable (the repo's CI sets a
+//! small value to keep property suites fast; see README).
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Random source handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter generated values, retrying until `f` accepts one.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Boxed strategy alias mirroring `proptest::strategy::BoxedStrategy`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive candidates");
+    }
+}
+
+/// Strategy producing a single constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+/// Types with a canonical "any value" strategy (mirrors `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Construct the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy over a type's full domain.
+#[derive(Clone, Debug, Default)]
+pub struct FullDomain<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullDomain<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullDomain<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullDomain { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The canonical strategy for `T`: the full domain for integers and `bool`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases (before the `PROPTEST_CASES`
+    /// environment cap).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep that, but the env cap below
+        // lets CI dial the whole suite down without editing tests.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Effective case count: the configured count, capped by the
+/// `PROPTEST_CASES` environment variable when set.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(cap) => config.cases.min(cap.max(1)),
+        None => config.cases,
+    }
+}
+
+/// Per-case RNG: deterministic by default (case index seeds the stream) so
+/// failures are reproducible; set `PROPTEST_RNG=entropy` to randomise.
+pub fn case_rng(case: u32) -> TestRng {
+    let base = match std::env::var("PROPTEST_RNG").as_deref() {
+        Ok("entropy") => {
+            use rand::{RngCore as _, SeedableRng as _};
+            SmallRng::from_entropy().next_u64()
+        }
+        _ => 0x5117_c0de,
+    };
+    SmallRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// Strategy for `Vec<T>` with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `proptest::collection::vec`: vector of `element` values with a
+        /// length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// Strategy choosing uniformly from a fixed set.
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+
+        /// `proptest::sample::select`: choose uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select of empty set");
+            Select { options }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// Uniform `bool` strategy.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.gen()
+            }
+        }
+
+        /// `proptest::bool::ANY`.
+        pub const ANY: Any = Any;
+    }
+
+    /// Numeric strategies (ranges already implement `Strategy` directly).
+    pub mod num {}
+}
+
+/// Pick one of several strategies per generated value, uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let arms: Vec<$crate::BoxedStrategy<_>> = vec![
+            $(Box::new($strat) as $crate::BoxedStrategy<_>),+
+        ];
+        $crate::OneOf { arms }
+    }};
+}
+
+/// Output of [`prop_oneof!`]: uniform choice between boxed strategies.
+pub struct OneOf<T> {
+    /// The candidate strategies.
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Assert inside a property, reporting the failing message on panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($config:expr)) => {};
+    (@with_config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let cases = $crate::effective_cases(&config);
+            for case in 0..cases {
+                let mut rng = $crate::case_rng(case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // Render inputs up front: the body may consume them by move.
+                let inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}"),+),
+                    $(&$arg),+
+                );
+                let run = || {
+                    $body
+                };
+                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    eprintln!("proptest case {case}/{cases} failed with inputs:{inputs}");
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    // With a leading config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    // Without: use the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3..10u32, y in 0i64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0..=4).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop::collection::vec(
+                prop_oneof![Just(1u8), (5u8..7).prop_map(|x| x * 2)],
+                1..5,
+            ),
+            b in prop::bool::ANY,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in v {
+                prop_assert!(x == 1u8 || x == 10u8 || x == 12u8);
+            }
+            // `b` exercises `prop::bool::ANY`; any generated value is valid.
+            let _ = b;
+        }
+
+        #[test]
+        fn select_draws_from_set(m in prop::sample::select(vec![2u8, 4, 8])) {
+            prop_assert!([2u8, 4, 8].contains(&m));
+        }
+    }
+
+    #[test]
+    fn env_cap_bounds_cases() {
+        let cfg = ProptestConfig::with_cases(256);
+        // Without the env var this returns the configured count.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::effective_cases(&cfg), 256);
+        } else {
+            assert!(crate::effective_cases(&cfg) <= 256);
+        }
+    }
+}
