@@ -5,7 +5,9 @@
 //! pair with one atomic compare-and-swap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sli_core::{LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState};
+use sli_core::{
+    LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId, TxnLockState,
+};
 
 fn rec(p: u32, s: u16) -> LockId {
     LockId::Record(TableId(1), p, s)
@@ -14,7 +16,7 @@ fn rec(p: u32, s: u16) -> LockId {
 /// Full transaction cycle: begin, one record lock (4-level hierarchy walk),
 /// commit-release. Baseline configuration.
 fn bench_lock_cycle(c: &mut Criterion) {
-    let m = LockManager::new(LockManagerConfig::baseline());
+    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::Baseline));
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
     c.bench_function("lockmgr/txn_cycle_1_record", |b| {
@@ -38,7 +40,7 @@ fn bench_lock_cycle(c: &mut Criterion) {
 /// Repeat-acquisition of an already-held lock: the transaction-private
 /// lock-cache fast path.
 fn bench_cache_hit(c: &mut Criterion) {
-    let m = LockManager::new(LockManagerConfig::baseline());
+    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::Baseline));
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
     m.begin(&mut ts, &mut agent);
@@ -56,7 +58,7 @@ fn bench_cache_hit(c: &mut Criterion) {
 /// transaction, with the hierarchy hot so db/table/page flow via SLI.
 fn bench_sli_reclaim_vs_fresh(c: &mut Criterion) {
     // SLI engine: heat the hierarchy so it is inherited between iterations.
-    let m = LockManager::new(LockManagerConfig::with_sli());
+    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::PaperSli));
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
     // Prime: run one transaction and heat the high-level heads.
@@ -74,7 +76,11 @@ fn bench_sli_reclaim_vs_fresh(c: &mut Criterion) {
     }
     m.end_txn(&mut ts, &mut agent, true);
     assert_eq!(agent.inherited_count(), 3);
+    // A `--bench <filter>` run may skip this target entirely; only assert
+    // the reclaim invariant when the loop actually executed.
+    let ran = std::cell::Cell::new(false);
     c.bench_function("lockmgr/txn_cycle_sli_inherited", |b| {
+        ran.set(true);
         b.iter(|| {
             m.begin(&mut ts, &mut agent);
             m.lock(&mut ts, &mut agent, rec(0, 0), LockMode::S).unwrap();
@@ -83,13 +89,15 @@ fn bench_sli_reclaim_vs_fresh(c: &mut Criterion) {
             m.end_txn(&mut ts, &mut agent, true);
         })
     });
-    let stats = m.stats().snapshot();
-    assert!(stats.sli_reclaimed > 0, "bench must exercise reclaims");
+    if ran.get() {
+        let stats = m.stats().snapshot();
+        assert!(stats.sli_reclaimed > 0, "bench must exercise reclaims");
+    }
 }
 
 /// Raw reclaim CAS vs a full fresh acquire of one table lock.
 fn bench_reclaim_cas(c: &mut Criterion) {
-    let m = LockManager::new(LockManagerConfig::with_sli());
+    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::PaperSli));
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
 
@@ -105,7 +113,7 @@ fn bench_reclaim_cas(c: &mut Criterion) {
 
 /// Lock upgrades: IS -> IX on a held table lock.
 fn bench_upgrade(c: &mut Criterion) {
-    let m = LockManager::new(LockManagerConfig::baseline());
+    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::Baseline));
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
     c.bench_function("lockmgr/upgrade_is_to_ix", |b| {
@@ -128,12 +136,12 @@ fn bench_contended_acquire(c: &mut Criterion) {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     for (name, sli) in [("baseline", false), ("sli", true)] {
-        let cfg = if sli {
-            LockManagerConfig::with_sli()
+        let kind = if sli {
+            PolicyKind::PaperSli
         } else {
-            LockManagerConfig::baseline()
+            PolicyKind::Baseline
         };
-        let m = LockManager::new(cfg);
+        let m = LockManager::new(LockManagerConfig::with_policy(kind));
         let stop = Arc::new(AtomicBool::new(false));
         let mut bg = Vec::new();
         for t in 0..7u16 {

@@ -1,8 +1,10 @@
 //! Configuration for the lock manager and SLI.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::id::LockLevel;
+use crate::policy::{LockPolicy, PaperSli, PolicyKind};
 
 /// Tuning knobs for Speculative Lock Inheritance.
 ///
@@ -78,6 +80,12 @@ pub enum DeadlockPolicy {
 }
 
 /// Configuration for the lock manager.
+///
+/// The inheritance strategy is a [`LockPolicy`] trait object; construct a
+/// config with [`LockManagerConfig::with_policy`] and refine it with the
+/// builder methods. (The pre-policy `baseline()`/`with_sli()` constructors
+/// were removed — use `with_policy(PolicyKind::Baseline)` and
+/// `with_policy(PolicyKind::PaperSli)` respectively.)
 #[derive(Clone, Debug)]
 pub struct LockManagerConfig {
     /// Number of hash buckets in the lock table (rounded up to a power of
@@ -92,8 +100,10 @@ pub struct LockManagerConfig {
     pub lock_timeout: Duration,
     /// How often a blocked thread wakes to run deadlock checks.
     pub deadlock_poll: Duration,
-    /// SLI knobs.
+    /// SLI tuning knobs, consulted by the active policy.
     pub sli: SliConfig,
+    /// The inheritance policy owning the three SLI decision points.
+    pub policy: Arc<dyn LockPolicy>,
 }
 
 impl Default for LockManagerConfig {
@@ -105,22 +115,49 @@ impl Default for LockManagerConfig {
             lock_timeout: Duration::from_secs(2),
             deadlock_poll: Duration::from_micros(500),
             sli: SliConfig::default(),
+            policy: Arc::new(PaperSli),
         }
     }
 }
 
 impl LockManagerConfig {
-    /// Baseline configuration (SLI off), otherwise defaults.
-    pub fn baseline() -> Self {
+    /// Defaults with the given inheritance policy. Accepts either a
+    /// [`PolicyKind`] or a custom `Arc<dyn LockPolicy>`:
+    ///
+    /// ```
+    /// use sli_core::{LockManagerConfig, PolicyKind};
+    /// let cfg = LockManagerConfig::with_policy(PolicyKind::Baseline);
+    /// assert_eq!(cfg.policy.name(), "baseline");
+    /// ```
+    pub fn with_policy(policy: impl Into<Arc<dyn LockPolicy>>) -> Self {
         LockManagerConfig {
-            sli: SliConfig::disabled(),
+            policy: policy.into(),
             ..LockManagerConfig::default()
         }
     }
 
-    /// Configuration with SLI on, otherwise defaults.
-    pub fn with_sli() -> Self {
-        LockManagerConfig::default()
+    /// Builder: replace the SLI tuning knobs.
+    pub fn sli(mut self, sli: SliConfig) -> Self {
+        self.sli = sli;
+        self
+    }
+
+    /// Builder: replace the lock-wait timeout.
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+
+    /// Builder: replace the deadlock strategy.
+    pub fn deadlock(mut self, deadlock: DeadlockPolicy) -> Self {
+        self.deadlock = deadlock;
+        self
+    }
+
+    /// The shipped [`PolicyKind`] matching the configured policy's name,
+    /// if it is one of the five built-ins.
+    pub fn policy_kind(&self) -> Option<PolicyKind> {
+        PolicyKind::from_name(self.policy.name())
     }
 }
 
@@ -147,8 +184,24 @@ mod tests {
     }
 
     #[test]
-    fn baseline_vs_sli_configs() {
-        assert!(!LockManagerConfig::baseline().sli.enabled);
-        assert!(LockManagerConfig::with_sli().sli.enabled);
+    fn default_policy_is_paper_sli() {
+        let cfg = LockManagerConfig::default();
+        assert_eq!(cfg.policy.name(), "paper-sli");
+        assert_eq!(cfg.policy_kind(), Some(PolicyKind::PaperSli));
+        assert!(cfg.sli.enabled);
+    }
+
+    #[test]
+    fn with_policy_accepts_kinds_and_objects() {
+        let a = LockManagerConfig::with_policy(PolicyKind::Baseline);
+        assert!(!a.policy.inherits());
+        let b = LockManagerConfig::with_policy(PolicyKind::EagerRelease.build())
+            .lock_timeout(Duration::from_millis(10))
+            .deadlock(DeadlockPolicy::TimeoutOnly)
+            .sli(SliConfig::disabled());
+        assert!(b.policy.early_release_shared());
+        assert_eq!(b.lock_timeout, Duration::from_millis(10));
+        assert_eq!(b.deadlock, DeadlockPolicy::TimeoutOnly);
+        assert!(!b.sli.enabled);
     }
 }

@@ -21,6 +21,7 @@ use sli_profiler::Component;
 use crate::hot::HotTracker;
 use crate::id::LockId;
 use crate::mode::{LockMode, NUM_MODES};
+use crate::policy::AcquireSample;
 use crate::request::{LockRequest, RequestStatus};
 use crate::stats::LockStats;
 
@@ -372,21 +373,25 @@ impl LockHead {
         QueueGuard { head: self, inner }
     }
 
-    /// Latch the queue on behalf of agent `me`'s acquire path, feeding the
-    /// hot tracker a *popularity* sample: the acquisition counts as
-    /// contended if the latch itself contended **or** another agent
-    /// actively holds a request on this lock. Raw latch collisions alone
-    /// under-report heat here — this engine's head critical sections are
-    /// tens of nanoseconds against multi-microsecond transactions, unlike
-    /// Shore-MT where lock-manager latching dominates — while cross-agent
-    /// sharing at acquire time is exactly the condition that makes a
-    /// release + re-acquire pair recur, which is what criterion 2 exists
-    /// to detect.
+    /// Latch the queue on behalf of agent `me`'s acquire path, returning
+    /// the raw [`AcquireSample`] *without* recording a heat sample: the
+    /// lock manager feeds the sample through the active
+    /// [`crate::LockPolicy::on_acquire`] and records the policy's verdict.
+    ///
+    /// `cross_agent_shared` is set when another agent actively holds a
+    /// request on this lock. Raw latch collisions alone under-report heat
+    /// here — this engine's head critical sections are tens of nanoseconds
+    /// against multi-microsecond transactions, unlike Shore-MT where
+    /// lock-manager latching dominates — while cross-agent sharing at
+    /// acquire time is exactly the condition that makes a release +
+    /// re-acquire pair recur, which is what criterion 2 exists to detect.
+    /// [`crate::PaperSli`] combines both signals; [`crate::LatchOnlySli`]
+    /// uses the raw collision bit only.
     ///
     /// Parked `Inherited` requests deliberately do not count as sharing:
     /// their owner is idle, and counting them would keep a lock hot (and
     /// therefore re-inherited) forever after real concurrency ends.
-    pub fn latch_for_acquire(&self, me: u32) -> QueueGuard<'_> {
+    pub fn latch_observe(&self, me: u32) -> (QueueGuard<'_>, AcquireSample) {
         let inner = self.queue.lock();
         let shared = inner.reqs.iter().any(|r| {
             r.agent() != me
@@ -395,8 +400,11 @@ impl LockHead {
                     RequestStatus::Granted | RequestStatus::Converting
                 )
         });
-        self.hot.record(inner.was_contended() || shared);
-        QueueGuard { head: self, inner }
+        let sample = AcquireSample {
+            latch_contended: inner.was_contended(),
+            cross_agent_shared: shared,
+        };
+        (QueueGuard { head: self, inner }, sample)
     }
 
     /// Latch the queue without recording a hot sample (used by maintenance

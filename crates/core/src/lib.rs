@@ -18,7 +18,9 @@
 //! ```
 //! use sli_core::{LockManager, LockManagerConfig, LockId, LockMode, TableId, TxnLockState};
 //!
-//! let mgr = LockManager::new(LockManagerConfig::with_sli());
+//! // The default config runs the paper's policy; pick any other with
+//! // `LockManagerConfig::with_policy(PolicyKind::...)`.
+//! let mgr = LockManager::new(LockManagerConfig::default());
 //! let mut agent = mgr.register_agent().unwrap();
 //! let mut ts = TxnLockState::new(agent.slot());
 //!
@@ -41,6 +43,7 @@ mod htab;
 mod id;
 mod manager;
 mod mode;
+mod policy;
 mod request;
 mod sli;
 mod stats;
@@ -55,6 +58,10 @@ pub use htab::LockTable;
 pub use id::{LockId, LockLevel, TableId};
 pub use manager::LockManager;
 pub use mode::{LockMode, ALL_MODES, NUM_MODES};
+pub use policy::{
+    AcquireSample, AggressiveSli, Baseline, EagerRelease, HeldLock, LatchOnlySli, LockPolicy,
+    PaperSli, PolicyKind,
+};
 pub use request::{LockRequest, RequestStatus};
 pub use sli::{is_inheritance_candidate, AgentSliState};
 pub use stats::{LockClass, LockStats, LockStatsSnapshot};

@@ -20,14 +20,18 @@ use crate::head::LockHead;
 use crate::htab::LockTable;
 use crate::id::{LockId, LockLevel};
 use crate::mode::LockMode;
+use crate::policy::{HeldLock, LockPolicy};
 use crate::request::{LockRequest, RequestStatus};
-use crate::sli::{is_inheritance_candidate, AgentSliState};
+use crate::sli::AgentSliState;
 use crate::stats::{LockClass, LockStats};
 use crate::txn::TxnLockState;
 
 /// The centralized lock manager.
 pub struct LockManager {
     config: LockManagerConfig,
+    /// The active inheritance policy (cloned out of `config` so the hot
+    /// paths don't chase two pointers).
+    policy: Arc<dyn LockPolicy>,
     table: LockTable,
     digests: DigestTable,
     stats: LockStats,
@@ -42,8 +46,10 @@ impl LockManager {
     pub fn new(config: LockManagerConfig) -> Arc<Self> {
         let table = LockTable::new(config.buckets);
         let digests = DigestTable::new(config.max_agents);
+        let policy = Arc::clone(&config.policy);
         Arc::new(LockManager {
             config,
+            policy,
             table,
             digests,
             stats: LockStats::new(),
@@ -56,6 +62,11 @@ impl LockManager {
     /// The active configuration.
     pub fn config(&self) -> &LockManagerConfig {
         &self.config
+    }
+
+    /// The active inheritance policy.
+    pub fn policy(&self) -> &Arc<dyn LockPolicy> {
+        &self.policy
     }
 
     /// Global lock-manager counters.
@@ -271,7 +282,10 @@ impl LockManager {
             let req;
             let must_wait;
             {
-                let mut q = head.latch_for_acquire(ts.agent_slot);
+                // Decision point 1: the policy turns the acquire-time
+                // observation into the head's heat sample.
+                let (mut q, sample) = head.latch_observe(ts.agent_slot);
+                head.hot().record(self.policy.on_acquire(&sample));
                 if q.zombie {
                     continue; // raced with head removal; re-probe
                 }
@@ -446,11 +460,13 @@ impl LockManager {
                         // Already unlinked by the invalidator; just drop.
                     }
                     RequestStatus::Inherited => {
+                        // Decision point 3: keep the unused hand-off parked
+                        // for another generation, or drop it.
                         let unused = req.unused_generations.load(Ordering::Relaxed);
                         let keep = commit
-                            && sli_cfg.enabled
-                            && (unused as u32) < sli_cfg.hysteresis
-                            && head.hot().is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
+                            && self
+                                .policy
+                                .on_discard(sli_cfg, req.lock_id(), &head, unused as u32);
                         if keep {
                             req.unused_generations.store(unused + 1, Ordering::Relaxed);
                             agent.inherited.push((req, head));
@@ -463,48 +479,41 @@ impl LockManager {
             }
         }
 
-        // Phase 2: forward pass — decide inheritance (parents first, so
-        // criterion 5 can consult the parent's decision).
+        // Phase 2: forward pass — decision point 2, the policy selects the
+        // inheritance candidates over the held-lock list (acquisition
+        // order, so parents precede children and criterion 5 can consult
+        // the parent's decision).
         let n = ts.requests.len();
-        let mut decisions = vec![false; n];
-        if commit && sli_cfg.enabled {
+        let decisions = if commit && sli_cfg.enabled && self.policy.inherits() {
             let _sli = sli_profiler::enter(Category::Work(Component::Sli));
-            let mut decided: Vec<(LockId, bool)> = Vec::with_capacity(n.min(64));
-            let mut inherited_count = 0usize;
-            for (i, (req, head)) in ts.requests.iter().enumerate() {
-                let id = req.lock_id();
-                let mode = req.mode();
-                let parent_ok = id.parent().map(|p| {
-                    decided
-                        .iter()
-                        .find(|(did, _)| *did == p)
-                        .map(|(_, ok)| *ok)
-                        .unwrap_or(false)
-                });
-                let mut inherit = inherited_count < sli_cfg.max_inherited_per_txn
-                    && is_inheritance_candidate(sli_cfg, id, mode, head, parent_ok);
-                // A request that is Converting (shouldn't happen at commit)
-                // or not Granted cannot be inherited.
-                inherit &= req.status() == RequestStatus::Granted;
-                decisions[i] = inherit;
-                // Only page-or-higher locks can be parents; keeping records
-                // out of the index keeps the scan short even for
-                // thousand-lock transactions.
-                if id.level() < LockLevel::Record {
-                    decided.push((id, inherit));
-                }
-                if inherit {
-                    inherited_count += 1;
-                }
-                self.record_census(id, mode, head, parent_ok, inherit);
-            }
+            // One bounded allocation per commit (`locks_held` entries, and
+            // only for inheriting policies); a reusable scratch would
+            // self-borrow `ts.requests`.
+            let locks: Vec<HeldLock<'_>> = ts
+                .requests
+                .iter()
+                .map(|(req, head)| HeldLock {
+                    id: req.lock_id(),
+                    mode: req.mode(),
+                    head: head.as_ref(),
+                    // A request that is Converting (shouldn't happen at
+                    // commit) or not Granted cannot be inherited.
+                    grantable: req.status() == RequestStatus::Granted,
+                })
+                .collect();
+            self.policy.select_candidates(sli_cfg, &locks)
         } else {
-            // Baseline census (Figure 8): classify what SLI *could* target.
-            // The parent criterion is dynamic, so treat it as satisfiable —
-            // parents are walked first and would be inherited with their
-            // children in an SLI run.
-            for (req, head) in &ts.requests {
-                self.record_census(req.lock_id(), req.mode(), head, Some(true), false);
+            vec![false; n]
+        };
+        debug_assert_eq!(decisions.len(), n, "policy returned a decision per lock");
+        // Census (Figure 8): classify what SLI could target. Aborted
+        // transactions are excluded so high-abort workloads don't inflate
+        // the per-commit denominators. The parent criterion is dynamic, so
+        // the static classification treats it as satisfiable.
+        if commit {
+            for (i, (req, head)) in ts.requests.iter().enumerate() {
+                let inherited = decisions.get(i).copied().unwrap_or(false);
+                self.record_census(req.lock_id(), req.mode(), head, inherited);
             }
         }
 
@@ -512,7 +521,11 @@ impl LockManager {
         // children are released before their parents.
         let entries = std::mem::take(&mut ts.requests);
         for (i, (req, head)) in entries.into_iter().enumerate().rev() {
-            if decisions[i] {
+            // The status re-check guards against policies that ignore the
+            // `grantable` flag in their overridden selection.
+            let inherit = decisions.get(i).copied().unwrap_or(false)
+                && req.status() == RequestStatus::Granted;
+            if inherit {
                 let ok = req.begin_inheritance();
                 debug_assert!(ok, "request changed state during commit");
                 self.stats.on_sli_inherited();
@@ -545,21 +558,13 @@ impl LockManager {
         self.free_slots.lock().push(agent.slot());
     }
 
-    fn record_census(
-        &self,
-        id: LockId,
-        mode: LockMode,
-        head: &LockHead,
-        parent_ok: Option<bool>,
-        inherited: bool,
-    ) {
+    fn record_census(&self, id: LockId, mode: LockMode, head: &LockHead, inherited: bool) {
         let sli_cfg = &self.config.sli;
         let hot = head.hot().is_hot(sli_cfg.hot_threshold, sli_cfg.hot_window);
         let class = if hot {
             let heritable = id.level() <= sli_cfg.min_level
                 && mode.is_shared_for_sli()
-                && head.waiters_hint() == 0
-                && parent_ok.unwrap_or(true);
+                && head.waiters_hint() == 0;
             if heritable {
                 LockClass::HotHeritable
             } else {
@@ -570,10 +575,44 @@ impl LockManager {
         } else {
             LockClass::ColdHigh
         };
-        if hot && !inherited && sli_cfg.enabled {
+        if hot && !inherited && sli_cfg.enabled && self.policy.inherits() {
             self.stats.on_sli_hot_not_inherited();
         }
         self.stats.on_census(class);
+    }
+
+    /// Early lock release at commit-LSN assignment: drop record-level S
+    /// locks *before* the commit record's log flush, so readers of hot rows
+    /// stop paying the flush latency of writers they conflict with. No-op
+    /// unless the active policy opts in via
+    /// [`LockPolicy::early_release_shared`].
+    ///
+    /// Safe because the transaction is past its lock point (it will make no
+    /// further reads) and leaf S locks protect no uncommitted writes; X
+    /// locks and the intention chain above them are held until
+    /// [`LockManager::end_txn`] so nobody observes non-durable writes.
+    pub fn pre_commit_release(&self, ts: &mut TxnLockState) {
+        if !self.policy.early_release_shared() || ts.requests.is_empty() {
+            return;
+        }
+        let _work = sli_profiler::enter(Category::Work(Component::LockManager));
+        let mut kept = Vec::with_capacity(ts.requests.len());
+        for (req, head) in std::mem::take(&mut ts.requests) {
+            let early = req.status() == RequestStatus::Granted
+                && req.mode() == LockMode::S
+                && req.lock_id().level() == LockLevel::Record;
+            if early {
+                ts.cache.remove(&req.lock_id());
+                // These locks skip end_txn; census them here so locks/txn
+                // accounting stays comparable across policies.
+                self.record_census(req.lock_id(), req.mode(), &head, false);
+                self.release_one(&req, &head);
+                self.stats.on_early_released();
+            } else {
+                kept.push((req, head));
+            }
+        }
+        ts.requests = kept;
     }
 
     /// Release one granted request and maybe GC its head.
@@ -627,6 +666,7 @@ impl std::fmt::Debug for LockManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LockManager")
             .field("live_heads", &self.table.len())
+            .field("policy", &self.policy.name())
             .field("sli_enabled", &self.config.sli.enabled)
             .finish()
     }
@@ -639,11 +679,12 @@ mod tests {
     use std::time::Duration;
 
     fn mgr(sli: bool) -> Arc<LockManager> {
-        let mut cfg = if sli {
-            LockManagerConfig::with_sli()
+        let kind = if sli {
+            crate::PolicyKind::PaperSli
         } else {
-            LockManagerConfig::baseline()
+            crate::PolicyKind::Baseline
         };
+        let mut cfg = LockManagerConfig::with_policy(kind);
         cfg.lock_timeout = Duration::from_millis(500);
         cfg.deadlock_poll = Duration::from_micros(200);
         LockManager::new(cfg)
@@ -1096,9 +1137,9 @@ mod policy_tests {
 
     #[test]
     fn timeout_only_policy_resolves_deadlocks_by_timeout() {
-        let mut cfg = LockManagerConfig::baseline();
-        cfg.deadlock = DeadlockPolicy::TimeoutOnly;
-        cfg.lock_timeout = Duration::from_millis(150);
+        let cfg = LockManagerConfig::with_policy(crate::PolicyKind::Baseline)
+            .deadlock(DeadlockPolicy::TimeoutOnly)
+            .lock_timeout(Duration::from_millis(150));
         let m = LockManager::new(cfg);
         let barrier = Arc::new(std::sync::Barrier::new(2));
         let spawn = |first: LockId, second: LockId| {
@@ -1131,7 +1172,7 @@ mod policy_tests {
 
     #[test]
     fn hysteresis_keeps_unused_locks_for_extra_generations() {
-        let mut cfg = LockManagerConfig::with_sli();
+        let mut cfg = LockManagerConfig::default();
         cfg.sli.hysteresis = 2;
         let m = LockManager::new(cfg);
         let mut agent = m.register_agent().unwrap();
@@ -1178,7 +1219,7 @@ mod policy_tests {
 
     #[test]
     fn max_inherited_per_txn_caps_the_hand_off() {
-        let mut cfg = LockManagerConfig::with_sli();
+        let mut cfg = LockManagerConfig::default();
         cfg.sli.max_inherited_per_txn = 2;
         let m = LockManager::new(cfg);
         let mut agent = m.register_agent().unwrap();
@@ -1204,7 +1245,7 @@ mod policy_tests {
 
     #[test]
     fn six_mode_acquisition_and_release() {
-        let m = LockManager::new(LockManagerConfig::baseline());
+        let m = LockManager::new(LockManagerConfig::with_policy(crate::PolicyKind::Baseline));
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
@@ -1232,5 +1273,115 @@ mod policy_tests {
     fn sli_config_default_consistency() {
         let c = SliConfig::default();
         assert!(c.hot_window <= 16, "window must fit the shift register");
+    }
+
+    #[test]
+    fn aggressive_policy_inherits_cold_hierarchies() {
+        let m = LockManager::new(LockManagerConfig::with_policy(
+            crate::PolicyKind::AggressiveSli,
+        ));
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        // No artificial heat at all: the aggressive policy ignores it.
+        m.lock(&mut ts, &mut agent, rec(1, 0), LockMode::S).unwrap();
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.inherited_count(), 3, "db, table, page — all cold");
+        m.retire_agent(&mut agent);
+        assert_eq!(m.live_lock_heads(), 0);
+    }
+
+    #[test]
+    fn latch_only_policy_ignores_cross_agent_sharing_signal() {
+        // Two agents repeatedly share a table's locks. Under the paper
+        // policy this heats the high-level heads; under latch-only the
+        // microsecond-scale critical sections virtually never collide, so
+        // nothing is inherited (the ROADMAP signal ablation).
+        let m = LockManager::new(LockManagerConfig::with_policy(
+            crate::PolicyKind::LatchOnlySli,
+        ));
+        let mut a0 = m.register_agent().unwrap();
+        let mut t0 = TxnLockState::new(a0.slot());
+        let mut a1 = m.register_agent().unwrap();
+        let mut t1 = TxnLockState::new(a1.slot());
+        for i in 0..32u16 {
+            m.begin(&mut t0, &mut a0);
+            m.lock(&mut t0, &mut a0, rec(1, i), LockMode::S).unwrap();
+            m.begin(&mut t1, &mut a1);
+            m.lock(&mut t1, &mut a1, rec(1, i + 100), LockMode::S)
+                .unwrap();
+            m.end_txn(&mut t0, &mut a0, true);
+            m.end_txn(&mut t1, &mut a1, true);
+        }
+        assert_eq!(
+            m.stats().snapshot().sli_inherited,
+            0,
+            "serial single-thread interleaving never collides on the latch"
+        );
+        m.retire_agent(&mut a0);
+        m.retire_agent(&mut a1);
+    }
+
+    #[test]
+    fn eager_release_drops_record_s_locks_before_commit() {
+        let m = LockManager::new(LockManagerConfig::with_policy(
+            crate::PolicyKind::EagerRelease,
+        ));
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0), LockMode::S).unwrap();
+        m.lock(&mut ts, &mut agent, rec(1, 1), LockMode::X).unwrap();
+        let held_before = ts.locks_held();
+        m.pre_commit_release(&mut ts);
+        // Only the S record went early; X record and the intent chain stay.
+        assert_eq!(ts.locks_held(), held_before - 1);
+        assert_eq!(ts.held_mode(rec(1, 0)), None);
+        assert_eq!(ts.held_mode(rec(1, 1)), Some(LockMode::X));
+        assert!(ts.held_mode(LockId::Table(TableId(1))).is_some());
+        assert_eq!(m.stats().snapshot().early_released, 1);
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.inherited_count(), 0, "eager-release never inherits");
+        assert_eq!(m.live_lock_heads(), 0);
+        // Census still counted every lock of the transaction exactly once:
+        // 1 early-released + X record + page/table/db intents.
+        assert_eq!(m.stats().snapshot().census_total, 5);
+        m.retire_agent(&mut agent);
+    }
+
+    #[test]
+    fn pre_commit_release_is_a_noop_for_inheriting_policies() {
+        let m = LockManager::new(LockManagerConfig::default());
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0), LockMode::S).unwrap();
+        let held = ts.locks_held();
+        m.pre_commit_release(&mut ts);
+        assert_eq!(ts.locks_held(), held);
+        assert_eq!(m.stats().snapshot().early_released, 0);
+        m.end_txn(&mut ts, &mut agent, true);
+        m.retire_agent(&mut agent);
+    }
+
+    #[test]
+    fn aborts_do_not_record_census_passes() {
+        let m = LockManager::new(LockManagerConfig::default());
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0), LockMode::X).unwrap();
+        m.end_txn(&mut ts, &mut agent, false);
+        let snap = m.stats().snapshot();
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(
+            snap.census_total, 0,
+            "aborted locks must not inflate Figure 8 denominators"
+        );
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0), LockMode::X).unwrap();
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(m.stats().snapshot().census_total, 4, "commits still do");
+        m.retire_agent(&mut agent);
     }
 }

@@ -70,6 +70,11 @@ impl std::fmt::Debug for AgentSliState {
 /// Evaluate the paper's five inheritance criteria (Section 4.2) for one
 /// granted lock at commit time.
 ///
+/// This is the reference predicate behind [`crate::PaperSli`] (and
+/// [`crate::LatchOnlySli`], which differs only in the heat *signal* feeding
+/// criterion 2); it stays a free function so ablation fixtures can probe it
+/// directly and so the policy implementations can be verified against it.
+///
 /// * `parent_inherited` — whether the lock's parent was selected for
 ///   inheritance in the same pass (`None` for the hierarchy root).
 ///

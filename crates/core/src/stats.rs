@@ -45,6 +45,9 @@ pub struct LockStats {
     sli_invalidated: AtomicU64,
     sli_discarded: AtomicU64,
     sli_hot_not_inherited: AtomicU64,
+    /// Record-level S locks dropped at commit-LSN by an early-release
+    /// policy, before the log flush.
+    early_released: AtomicU64,
     // Transactions.
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -78,6 +81,7 @@ impl LockStats {
     bump!(on_sli_invalidated, sli_invalidated);
     bump!(on_sli_discarded, sli_discarded);
     bump!(on_sli_hot_not_inherited, sli_hot_not_inherited);
+    bump!(on_early_released, early_released);
     bump!(on_commit, commits);
     bump!(on_abort, aborts);
 
@@ -114,6 +118,7 @@ impl LockStats {
             sli_invalidated: self.sli_invalidated.load(Ordering::Relaxed),
             sli_discarded: self.sli_discarded.load(Ordering::Relaxed),
             sli_hot_not_inherited: self.sli_hot_not_inherited.load(Ordering::Relaxed),
+            early_released: self.early_released.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
         }
@@ -141,6 +146,7 @@ pub struct LockStatsSnapshot {
     pub sli_invalidated: u64,
     pub sli_discarded: u64,
     pub sli_hot_not_inherited: u64,
+    pub early_released: u64,
     pub commits: u64,
     pub aborts: u64,
 }
@@ -167,6 +173,7 @@ impl LockStatsSnapshot {
             sli_invalidated: self.sli_invalidated - earlier.sli_invalidated,
             sli_discarded: self.sli_discarded - earlier.sli_discarded,
             sli_hot_not_inherited: self.sli_hot_not_inherited - earlier.sli_hot_not_inherited,
+            early_released: self.early_released - earlier.early_released,
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
         }

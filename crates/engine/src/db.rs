@@ -5,7 +5,9 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use sli_core::{LockManager, LockManagerConfig, LockStatsSnapshot, TableId};
+use sli_core::{
+    LockManager, LockManagerConfig, LockPolicy, LockStatsSnapshot, PolicyKind, TableId,
+};
 use sli_storage::{
     BufferPool, BufferPoolConfig, BufferPoolStats, HashIndex, HeapTable, OrderedIndex, Rid,
 };
@@ -50,20 +52,23 @@ pub struct DatabaseConfig {
 }
 
 impl DatabaseConfig {
-    /// Baseline engine: SLI disabled, everything else default.
-    pub fn baseline() -> Self {
+    /// Engine with the given inheritance policy (a [`PolicyKind`] or a
+    /// custom `Arc<dyn LockPolicy>`), everything else default.
+    pub fn with_policy(policy: impl Into<Arc<dyn LockPolicy>>) -> Self {
         DatabaseConfig {
-            lock: LockManagerConfig::baseline(),
+            lock: LockManagerConfig::with_policy(policy),
             ..Default::default()
         }
     }
 
-    /// Engine with SLI enabled (default settings).
+    /// Baseline engine: no inheritance, everything else default.
+    pub fn baseline() -> Self {
+        DatabaseConfig::with_policy(PolicyKind::Baseline)
+    }
+
+    /// Engine with SLI enabled (the paper's policy, default settings).
     pub fn with_sli() -> Self {
-        DatabaseConfig {
-            lock: LockManagerConfig::with_sli(),
-            ..Default::default()
-        }
+        DatabaseConfig::with_policy(PolicyKind::PaperSli)
     }
 
     /// In-memory setup: no I/O penalties anywhere (the paper's NDBB
@@ -190,6 +195,11 @@ impl Database {
     /// The lock manager (for stats and advanced use).
     pub fn lock_manager(&self) -> &Arc<LockManager> {
         &self.lockmgr
+    }
+
+    /// Display name of the active inheritance policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.lockmgr.policy().name()
     }
 
     /// Lock-manager counter snapshot.

@@ -36,7 +36,8 @@ pub use session::{Session, Txn, TxnError};
 // depending on every crate directly.
 pub use bytes::Bytes;
 pub use sli_core::{
-    LockId, LockLevel, LockManagerConfig, LockMode, LockStatsSnapshot, SliConfig, TableId,
+    LockId, LockLevel, LockManagerConfig, LockMode, LockPolicy, LockStatsSnapshot, PolicyKind,
+    SliConfig, TableId,
 };
 pub use sli_storage::{BufferPoolConfig, BufferPoolStats, Rid};
 pub use sli_wal::{LogConfig, LogStats};

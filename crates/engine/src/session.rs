@@ -426,6 +426,10 @@ impl Txn<'_> {
         if self.wrote {
             let seq = self.ts.txn_seq();
             let lsn = self.db.log.append(LogRecord::commit(seq));
+            // Early-release policies drop record-level S locks here — after
+            // the commit LSN is assigned, before the (blocking) log flush.
+            // A no-op for every other policy.
+            self.db.lockmgr.pre_commit_release(self.ts);
             self.db.log.commit(seq, lsn);
         }
         self.db.lockmgr.end_txn(self.ts, self.agent, true);
@@ -603,6 +607,30 @@ mod tests {
         }
         let v = u64::from_le_bytes(db.peek(t, 1).unwrap()[..].try_into().unwrap());
         assert_eq!(v, threads * per);
+    }
+
+    #[test]
+    fn eager_release_policy_threads_through_sessions() {
+        use sli_core::PolicyKind;
+        let db = Database::open(DatabaseConfig::with_policy(PolicyKind::EagerRelease).in_memory());
+        assert_eq!(db.policy_name(), "eager-release");
+        let t = db.create_table("t").unwrap();
+        db.bulk_insert(t, 1, None, b"r");
+        db.bulk_insert(t, 2, None, &0u64.to_le_bytes());
+        let s = db.session();
+        // A read-write transaction: the read's S record lock is dropped at
+        // commit-LSN, the write's X lock is held through the flush.
+        s.run(|txn| {
+            txn.read_by_key(t, 1)?;
+            txn.update_by_key(t, 2, |_| 1u64.to_le_bytes().to_vec())?;
+            Ok(())
+        })
+        .unwrap();
+        let stats = db.lock_stats();
+        assert_eq!(stats.early_released, 1);
+        assert_eq!(stats.sli_inherited, 0);
+        assert_eq!(s.inherited_locks(), 0);
+        assert_eq!(&db.peek(t, 2).unwrap()[..], &1u64.to_le_bytes());
     }
 
     #[test]

@@ -667,6 +667,84 @@ pub fn roving_hotspot(scale: &ExperimentScale) -> Vec<AblationRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Policy matrix (the LockPolicy ablation harness)
+// ---------------------------------------------------------------------------
+
+/// One cell of the policy-matrix experiment: one policy at one agent count.
+#[derive(Clone, Debug)]
+pub struct PolicyMatrixRow {
+    /// Policy display name.
+    pub policy: &'static str,
+    /// Agent threads offered.
+    pub agents: usize,
+    /// Attempts per second.
+    pub throughput: f64,
+    /// Committed transactions in the window (denominator for per-commit
+    /// rates).
+    pub commits: u64,
+    /// Locks parked on agents during the window (`sli_inherited` delta).
+    pub inherited: u64,
+    /// Inherited locks reclaimed by the CAS fast path (`sli_reclaimed`
+    /// delta).
+    pub reclaimed: u64,
+    /// Inherited locks invalidated by conflicting transactions.
+    pub invalidated: u64,
+    /// Record-level S locks dropped at commit-LSN (eager-release only).
+    pub early_released: u64,
+    /// % cpu time contending in the lock manager.
+    pub lockmgr_contention_pct: f64,
+}
+
+/// The `LockPolicy` ablation: sweep every shipped policy across the agent
+/// ladder on the TM1 NDBB mix. `Baseline` must report zero inheritance;
+/// `LatchOnlySli` vs `PaperSli` is the ROADMAP's hot-lock *signal* ablation
+/// (raw latch collisions vs cross-agent sharing); `AggressiveSli` shows the
+/// cost of over-inheriting; `EagerRelease` trades inheritance for shorter
+/// read-lock hold times.
+pub fn policy_matrix(scale: &ExperimentScale) -> Vec<PolicyMatrixRow> {
+    use sli_engine::PolicyKind;
+    println!("\n== Policy matrix: inheritance policies x agents (NDBB mix) ==");
+    println!(
+        "{:>14} {:>7} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "policy", "agents", "attempts/s", "inherited", "reclaimed", "invalid", "early", "lm-cont%"
+    );
+    let mut rows = Vec::new();
+    for kind in PolicyKind::ALL {
+        let db = Database::open(crate::setup::db_config_for(kind));
+        let tm1 = Tm1::load(&db, scale.tm1_subscribers, 42);
+        let mix = tm1.ndbb_mix();
+        for agents in scale.short_ladder() {
+            let r = run_workload(&db, &mix, &run_cfg(scale, agents));
+            let d = &r.lock_delta;
+            let row = PolicyMatrixRow {
+                policy: kind.name(),
+                agents,
+                throughput: r.attempts_per_sec,
+                commits: d.commits,
+                inherited: d.sli_inherited,
+                reclaimed: d.sli_reclaimed,
+                invalidated: d.sli_invalidated,
+                early_released: d.early_released,
+                lockmgr_contention_pct: pct(r.report.contention_fraction(Component::LockManager)),
+            };
+            println!(
+                "{:>14} {:>7} {:>12.0} {:>10} {:>10} {:>10} {:>9} {:>9.1}",
+                row.policy,
+                row.agents,
+                row.throughput,
+                row.inherited,
+                row.reclaimed,
+                row.invalidated,
+                row.early_released,
+                row.lockmgr_contention_pct
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +768,41 @@ mod tests {
             assert!(r.used_pct >= 0.0 && r.used_pct <= 110.0, "{r:?}");
             assert!(r.invalidated_pct >= 0.0, "{r:?}");
         }
+    }
+
+    #[test]
+    fn policy_matrix_runs_at_smoke_scale() {
+        let scale = ExperimentScale::smoke();
+        let rows = policy_matrix(&scale);
+        let ladder = scale.short_ladder().len();
+        assert_eq!(rows.len(), 5 * ladder, "five policies x agent ladder");
+        for r in &rows {
+            assert!(r.throughput > 0.0, "{r:?}");
+        }
+        let total = |name: &str, f: fn(&PolicyMatrixRow) -> u64| -> u64 {
+            rows.iter().filter(|r| r.policy == name).map(f).sum()
+        };
+        // Per-commit inheritance rate, robust to throughput differences.
+        let rate = |name: &str| -> f64 {
+            total(name, |r| r.inherited) as f64 / total(name, |r| r.commits).max(1) as f64
+        };
+        // Baseline must never inherit or early-release anything.
+        assert_eq!(total("baseline", |r| r.inherited), 0);
+        assert_eq!(total("baseline", |r| r.early_released), 0);
+        // Eager release never inherits (it releases early instead).
+        assert_eq!(total("eager-release", |r| r.inherited), 0);
+        // The signal ablation: raw latch collisions qualify at most as many
+        // locks as the combined latch + cross-agent-sharing signal.
+        assert!(
+            rate("latch-only") <= rate("paper-sli") + 1e-9,
+            "latch-only inherited more per commit than paper-sli"
+        );
+        // Over-inheritance: aggressive waives every filter the paper
+        // applies, so its per-commit hand-off can only be larger.
+        assert!(
+            rate("aggressive") >= rate("paper-sli"),
+            "aggressive inherited less per commit than paper-sli"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! sli-harness <experiment> [...]
 //!   experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//!                ablation-criteria bimodal roving-hotspot all
+//!                ablation-criteria bimodal roving-hotspot policy-matrix all
 //! ```
 //!
 //! Scale with environment variables (see `sli-harness --help` or the crate
@@ -26,6 +26,7 @@ experiments:
   ablation-criteria  Section 4.2 criteria ablation
   bimodal            Section 4.4 bimodal workload
   roving-hotspot     Section 4.4 roving hotspot
+  policy-matrix      LockPolicy ablation: all five policies x agent counts
   all                everything above, in order
 
 environment: SLI_MEASURE_MS (400) SLI_WARMUP_MS (200) SLI_MAX_AGENTS (nproc)
@@ -67,6 +68,9 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
         "roving-hotspot" => {
             figures::roving_hotspot(scale);
         }
+        "policy-matrix" => {
+            figures::policy_matrix(scale);
+        }
         "all" => {
             for exp in [
                 "fig1",
@@ -80,6 +84,7 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
                 "ablation-criteria",
                 "bimodal",
                 "roving-hotspot",
+                "policy-matrix",
             ] {
                 run_one(exp, scale);
             }

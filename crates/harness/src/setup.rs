@@ -112,11 +112,18 @@ pub struct LoadedWorkload {
 /// `SLI_ROW_WORK_NS` (default 800) calibrates the synthetic per-row CPU
 /// cost so the baseline lock-manager share lands in the paper's band.
 pub fn db_config(sli: bool) -> DatabaseConfig {
-    let mut cfg = if sli {
-        DatabaseConfig::with_sli().in_memory()
+    db_config_for(if sli {
+        sli_engine::PolicyKind::PaperSli
     } else {
-        DatabaseConfig::baseline().in_memory()
-    };
+        sli_engine::PolicyKind::Baseline
+    })
+}
+
+/// Database config for an arbitrary inheritance policy, always in-memory,
+/// with the same `SLI_ROW_WORK_NS` calibration as [`db_config`]. The
+/// policy-matrix experiment sweeps this over [`sli_engine::PolicyKind::ALL`].
+pub fn db_config_for(policy: sli_engine::PolicyKind) -> DatabaseConfig {
+    let mut cfg = DatabaseConfig::with_policy(policy).in_memory();
     cfg.row_work_ns = env_u64("SLI_ROW_WORK_NS", 800);
     cfg
 }

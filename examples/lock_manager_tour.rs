@@ -8,7 +8,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sli::core::{LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState};
+use sli::core::{
+    LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId, TxnLockState,
+};
 
 fn main() {
     println!("== 1. the mode lattice ==");
@@ -35,7 +37,7 @@ fn main() {
     println!("  sup(S, IX) = {}", LockMode::S.supremum(LockMode::IX));
 
     println!("\n== 2. automatic intention locks ==");
-    let m = LockManager::new(LockManagerConfig::with_sli());
+    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::PaperSli));
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
     m.begin(&mut ts, &mut agent);
@@ -109,11 +111,8 @@ fn main() {
     );
 
     println!("\n== 5. deadlock detection (Dreadlocks) ==");
-    let mcfg = {
-        let mut c = LockManagerConfig::baseline();
-        c.lock_timeout = Duration::from_secs(2);
-        c
-    };
+    let mcfg =
+        LockManagerConfig::with_policy(PolicyKind::Baseline).lock_timeout(Duration::from_secs(2));
     let dm = LockManager::new(mcfg);
     let a = LockId::Record(TableId(9), 0, 0);
     let b = LockId::Record(TableId(9), 0, 1);

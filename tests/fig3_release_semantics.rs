@@ -11,11 +11,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sli::core::{LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState};
+use sli::core::{
+    LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId, TxnLockState,
+};
 
 fn manager() -> Arc<LockManager> {
-    let mut cfg = LockManagerConfig::baseline();
-    cfg.lock_timeout = Duration::from_secs(5);
+    let cfg =
+        LockManagerConfig::with_policy(PolicyKind::Baseline).lock_timeout(Duration::from_secs(5));
     LockManager::new(cfg)
 }
 

@@ -12,7 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sli::core::{
-    LockId, LockManager, LockManagerConfig, LockMode, RequestStatus, TableId, TxnLockState,
+    LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, RequestStatus, TableId,
+    TxnLockState,
 };
 
 const L1: LockId = LockId::Table(TableId(1));
@@ -20,8 +21,8 @@ const L2: LockId = LockId::Table(TableId(2));
 
 #[test]
 fn inherited_lock_is_invalidated_instead_of_deadlocking() {
-    let mut cfg = LockManagerConfig::with_sli();
-    cfg.lock_timeout = Duration::from_secs(10); // a real deadlock would hit this
+    let cfg =
+        LockManagerConfig::with_policy(PolicyKind::PaperSli).lock_timeout(Duration::from_secs(10)); // a real deadlock would hit this
     let m = LockManager::new(cfg);
 
     // --- set up: agent 1 inherits L1 (held in S mode) -------------------
@@ -92,8 +93,8 @@ fn inherited_lock_is_invalidated_instead_of_deadlocking() {
 fn reclaimed_lock_behaves_like_a_normal_acquisition() {
     // Once reclaimed, the lock was "acquired in natural order": a later
     // conflicting request must WAIT (not invalidate).
-    let mut cfg = LockManagerConfig::with_sli();
-    cfg.lock_timeout = Duration::from_secs(5);
+    let cfg =
+        LockManagerConfig::with_policy(PolicyKind::PaperSli).lock_timeout(Duration::from_secs(5));
     let m = LockManager::new(cfg);
 
     let mut a1 = m.register_agent().unwrap();

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sli::core::{
-    LockId, LockManager, LockManagerConfig, LockMode, TableId, TxnLockState, ALL_MODES,
+    LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId, TxnLockState, ALL_MODES,
 };
 use sli::engine::{Database, DatabaseConfig};
 
@@ -48,14 +48,9 @@ proptest! {
     #[test]
     fn single_txn_schedules_never_self_deadlock(
         ops in prop::collection::vec((arb_lock_id(), arb_mode()), 1..40),
-        sli in prop::bool::ANY,
+        policy in 0usize..PolicyKind::ALL.len(),
     ) {
-        let cfg = if sli {
-            LockManagerConfig::with_sli()
-        } else {
-            LockManagerConfig::baseline()
-        };
-        let m = LockManager::new(cfg);
+        let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::ALL[policy]));
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         m.begin(&mut ts, &mut agent);
@@ -88,16 +83,18 @@ proptest! {
         prop_assert_eq!(m.live_lock_heads(), 0, "lock heads leaked");
     }
 
-    /// Consecutive transactions on one agent with SLI on: regardless of the
-    /// schedule, retiring the agent leaves no lock heads behind.
+    /// Consecutive transactions on one agent: regardless of the schedule
+    /// and the inheritance policy, retiring the agent leaves no lock heads
+    /// behind.
     #[test]
     fn sequential_txns_never_leak_locks(
         txns in prop::collection::vec(
             prop::collection::vec((arb_lock_id(), arb_mode()), 1..10),
             1..8,
         ),
+        policy in 0usize..PolicyKind::ALL.len(),
     ) {
-        let m = LockManager::new(LockManagerConfig::with_sli());
+        let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::ALL[policy]));
         let mut agent = m.register_agent().unwrap();
         let mut ts = TxnLockState::new(agent.slot());
         for (i, ops) in txns.iter().enumerate() {

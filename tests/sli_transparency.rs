@@ -7,48 +7,125 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sli::core::PolicyKind;
 use sli::engine::{Database, DatabaseConfig, TxnError};
 use sli::workloads::tpcb::TpcB;
 use sli::workloads::Outcome;
+
+/// A deterministic single-threaded TM1-style schedule: seeded interleaving
+/// of reads and read-modify-writes over 500 keys. Returns every byte
+/// observed by the reads, so two runs can be compared for transparency.
+fn deterministic_schedule(config: DatabaseConfig) -> Vec<Vec<u8>> {
+    let db = Database::open(config);
+    let t = db.create_table("t").unwrap();
+    for k in 0..500u64 {
+        db.bulk_insert(t, k, None, &(k * 7).to_le_bytes());
+    }
+    let s = db.session();
+    let mut rng = SmallRng::seed_from_u64(1234);
+    let mut observed = Vec::new();
+    for i in 0..2_000u64 {
+        let k = rng.gen_range(0..500u64);
+        if i % 5 == 0 {
+            s.run(|txn| {
+                txn.update_by_key(t, k, |old| {
+                    let v = u64::from_le_bytes(old.try_into().unwrap());
+                    (v + 1).to_le_bytes().to_vec()
+                })
+            })
+            .unwrap();
+        } else {
+            let bytes = s
+                .run(|txn| txn.read_by_key(t, k).map(|b| b.to_vec()))
+                .unwrap();
+            observed.push(bytes);
+        }
+    }
+    observed
+}
 
 /// Run the same deterministic single-threaded TM1-style schedule against a
 /// baseline and an SLI database; every read must return identical bytes.
 #[test]
 fn single_threaded_results_identical_with_and_without_sli() {
-    let run = |sli: bool| -> Vec<Vec<u8>> {
-        let config = if sli {
-            DatabaseConfig::with_sli().in_memory()
-        } else {
-            DatabaseConfig::baseline().in_memory()
-        };
-        let db = Database::open(config);
-        let t = db.create_table("t").unwrap();
-        for k in 0..500u64 {
-            db.bulk_insert(t, k, None, &(k * 7).to_le_bytes());
+    assert_eq!(
+        deterministic_schedule(DatabaseConfig::baseline().in_memory()),
+        deterministic_schedule(DatabaseConfig::with_sli().in_memory())
+    );
+}
+
+/// The transparency invariant, parameterized over every shipped policy: no
+/// inheritance (or early-release) strategy may change application-visible
+/// results relative to the baseline.
+#[test]
+fn all_policies_produce_identical_committed_state() {
+    let reference =
+        deterministic_schedule(DatabaseConfig::with_policy(PolicyKind::Baseline).in_memory());
+    for kind in PolicyKind::ALL {
+        if kind == PolicyKind::Baseline {
+            continue; // it produced the reference
         }
-        let s = db.session();
-        let mut rng = SmallRng::seed_from_u64(1234);
-        let mut observed = Vec::new();
-        for i in 0..2_000u64 {
-            let k = rng.gen_range(0..500u64);
-            if i % 5 == 0 {
-                s.run(|txn| {
-                    txn.update_by_key(t, k, |old| {
-                        let v = u64::from_le_bytes(old.try_into().unwrap());
-                        (v + 1).to_le_bytes().to_vec()
-                    })
-                })
-                .unwrap();
-            } else {
-                let bytes = s
-                    .run(|txn| txn.read_by_key(t, k).map(|b| b.to_vec()))
-                    .unwrap();
-                observed.push(bytes);
+        assert_eq!(
+            deterministic_schedule(DatabaseConfig::with_policy(kind).in_memory()),
+            reference,
+            "policy {} diverged from baseline",
+            kind.name()
+        );
+    }
+}
+
+/// Money conservation under concurrency, parameterized over every shipped
+/// policy: TPC-B's branch/teller/account sums must agree no matter how
+/// locks are inherited, invalidated, or released early.
+#[test]
+fn all_policies_preserve_tpcb_invariants_under_concurrency() {
+    for kind in PolicyKind::ALL {
+        let db = Database::open(DatabaseConfig::with_policy(kind).in_memory());
+        let bank = TpcB::load(&db, 4, 100);
+        let threads = 4;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let db = Arc::clone(&db);
+            let bank = Arc::clone(&bank);
+            handles.push(std::thread::spawn(move || {
+                let s = db.session();
+                let mut rng = SmallRng::seed_from_u64(t);
+                let mut commits = 0u64;
+                for _ in 0..200 {
+                    if bank.account_update(&s, &mut rng) == Outcome::Commit {
+                        commits += 1;
+                    }
+                }
+                commits
+            }));
+        }
+        let commits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let (b, t, a) = bank.balance_sums(&db);
+        assert_eq!(b, t, "{}: branch/teller invariant", kind.name());
+        assert_eq!(b, a, "{}: branch/account invariant", kind.name());
+        assert_eq!(
+            db.record_count(db.table_handle("tpcb_history").unwrap()),
+            commits,
+            "{}: history rows == commits",
+            kind.name()
+        );
+        let stats = db.lock_stats();
+        match kind {
+            PolicyKind::Baseline => {
+                assert_eq!(stats.sli_inherited, 0, "baseline must not inherit");
             }
+            PolicyKind::AggressiveSli => {
+                assert!(
+                    stats.sli_inherited > 0,
+                    "aggressive inherits unconditionally"
+                );
+            }
+            PolicyKind::EagerRelease => {
+                assert_eq!(stats.sli_inherited, 0, "eager-release must not inherit");
+            }
+            _ => {}
         }
-        observed
-    };
-    assert_eq!(run(false), run(true));
+    }
 }
 
 /// The TPC-B money-conservation invariant must hold under heavy concurrency
