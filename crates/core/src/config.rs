@@ -104,6 +104,10 @@ pub struct LockManagerConfig {
     pub sli: SliConfig,
     /// The inheritance policy owning the three SLI decision points.
     pub policy: Arc<dyn LockPolicy>,
+    /// Capacity of each agent's [`LockRequest`] free pool (0 disables
+    /// pooling). A warm pool makes the steady-state uncontended acquire
+    /// path allocation-free.
+    pub request_pool_cap: usize,
 }
 
 impl Default for LockManagerConfig {
@@ -116,6 +120,7 @@ impl Default for LockManagerConfig {
             deadlock_poll: Duration::from_micros(500),
             sli: SliConfig::default(),
             policy: Arc::new(PaperSli),
+            request_pool_cap: crate::sli::DEFAULT_REQUEST_POOL_CAP,
         }
     }
 }

@@ -50,7 +50,7 @@ mod stats;
 mod txn;
 
 pub use config::{DeadlockPolicy, LockManagerConfig, SliConfig};
-pub use deadlock::{AgentSet, DigestTable, DIGEST_BITS, DIGEST_WORDS};
+pub use deadlock::{AgentSet, DigestTable, MAX_DIGEST_BITS};
 pub use error::LockError;
 pub use head::{LockHead, LockQueue, QueueGuard};
 pub use hot::HotTracker;
@@ -63,6 +63,6 @@ pub use policy::{
     PaperSli, PolicyKind,
 };
 pub use request::{LockRequest, RequestStatus};
-pub use sli::{is_inheritance_candidate, AgentSliState};
+pub use sli::{is_inheritance_candidate, AgentSliState, DEFAULT_REQUEST_POOL_CAP};
 pub use stats::{LockClass, LockStats, LockStatsSnapshot};
 pub use txn::TxnLockState;

@@ -88,8 +88,9 @@ impl LockManager {
     /// Allocate an agent slot (recycling retired ones). Each agent thread
     /// registers once and runs transactions serially.
     pub fn register_agent(&self) -> Result<AgentSliState, LockError> {
+        let cap = self.config.request_pool_cap;
         if let Some(slot) = self.free_slots.lock().pop() {
-            return Ok(AgentSliState::new(slot));
+            return Ok(AgentSliState::with_pool_cap(slot, cap));
         }
         let slot = self.next_agent.fetch_add(1, Ordering::Relaxed);
         if slot as usize >= self.config.max_agents {
@@ -97,7 +98,7 @@ impl LockManager {
                 max: self.config.max_agents,
             });
         }
-        Ok(AgentSliState::new(slot))
+        Ok(AgentSliState::with_pool_cap(slot, cap))
     }
 
     /// Start a transaction on `agent`, pre-populating its lock cache with
@@ -150,7 +151,9 @@ impl LockManager {
                     self.maybe_gc_head(&head);
                 }
                 // Invalid entries were already unlinked by their
-                // invalidator; dropping the Arc completes the GC.
+                // invalidator; recycling the Arc completes the GC.
+                drop(head);
+                agent.pool_put(req);
             }
         }
     }
@@ -216,16 +219,18 @@ impl LockManager {
                         return self.upgrade(ts, &req, &h, mode);
                     }
                     // Lost the race: a conflicting transaction invalidated
-                    // the inheritance. Drop it and any orphaned children,
-                    // then fall through to a normal request.
+                    // the inheritance. Recycle it and any orphaned
+                    // children, then fall through to a normal request.
                     ts.cache.remove(&id);
                     agent.remove(&req);
                     self.invalidate_orphans(ts, agent, id);
+                    agent.pool_put(req);
                 }
                 RequestStatus::Invalid => {
                     ts.cache.remove(&id);
                     agent.remove(&req);
                     self.invalidate_orphans(ts, agent, id);
+                    agent.pool_put(req);
                 }
                 _ => {
                     // Stale entry (e.g. Released); drop it.
@@ -233,7 +238,42 @@ impl LockManager {
                 }
             }
         }
-        self.acquire_fresh(ts, id, mode)
+        self.acquire_fresh(ts, agent, id, mode)
+    }
+
+    /// Build a request for a fresh acquisition, recycling one from the
+    /// agent's free pool when possible — the steady-state acquire then
+    /// performs zero heap allocations (the paper's fast path avoids
+    /// "allocating requests", Section 4.1).
+    fn make_request(
+        &self,
+        agent: &mut AgentSliState,
+        id: LockId,
+        txn: u64,
+        mode: LockMode,
+        granted: bool,
+    ) -> Arc<LockRequest> {
+        let status = if granted {
+            RequestStatus::Granted
+        } else {
+            RequestStatus::Waiting
+        };
+        let held = if granted { mode } else { LockMode::NL };
+        if let Some(mut req) = agent.pool_get() {
+            // The pool only admits unshared Arcs, and nothing can clone a
+            // pooled request, so exclusive access is guaranteed.
+            Arc::get_mut(&mut req)
+                .expect("pooled request is unshared")
+                .reinit(id, agent.slot(), txn, held, mode, status);
+            self.stats.on_request_pooled();
+            return req;
+        }
+        self.stats.on_request_allocated();
+        if granted {
+            Arc::new(LockRequest::new_granted(id, agent.slot(), txn, mode))
+        } else {
+            Arc::new(LockRequest::new_waiting(id, agent.slot(), txn, mode))
+        }
     }
 
     /// Invalidate any inherited cache entries whose parent `parent_id` is no
@@ -265,6 +305,7 @@ impl LockManager {
                 agent.remove(&req);
                 self.maybe_gc_head(&head);
                 self.invalidate_orphans(ts, agent, oid);
+                agent.pool_put(req);
             }
         }
     }
@@ -273,6 +314,7 @@ impl LockManager {
     fn acquire_fresh(
         &self,
         ts: &mut TxnLockState,
+        agent: &mut AgentSliState,
         id: LockId,
         mode: LockMode,
     ) -> Result<(), LockError> {
@@ -290,32 +332,27 @@ impl LockManager {
                     continue; // raced with head removal; re-probe
                 }
                 if q.waiters == 0 && q.compatible_with_granted(mode, None) {
-                    // Immediate grant.
-                    req = Arc::new(LockRequest::new_granted(
-                        id,
-                        ts.agent_slot,
-                        ts.txn_seq,
-                        mode,
-                    ));
+                    // Immediate grant (pool-recycled request: no alloc).
+                    req = self.make_request(agent, id, ts.txn_seq, mode, true);
                     q.push_granted(Arc::clone(&req));
                     must_wait = false;
                 } else {
                     // Enqueue FIFO; the grant pass may still admit us (and
                     // will invalidate inherited blockers if they are the
                     // only obstacle).
-                    req = Arc::new(LockRequest::new_waiting(
-                        id,
-                        ts.agent_slot,
-                        ts.txn_seq,
-                        mode,
-                    ));
+                    req = self.make_request(agent, id, ts.txn_seq, mode, false);
                     q.push_waiting(Arc::clone(&req));
                     q.grant_pass(&self.stats);
                     must_wait = req.status() != RequestStatus::Granted;
                 }
             }
             if must_wait {
-                self.wait_for_grant(ts, &head, &req, mode, false)?;
+                if let Err(e) = self.wait_for_grant(ts, &head, &req, mode, false) {
+                    // The victim path unlinked the request from the queue;
+                    // recycle it for the retry after abort.
+                    agent.pool_put(req);
+                    return Err(e);
+                }
             }
             ts.insert_owned(req, head);
             return Ok(());
@@ -370,6 +407,8 @@ impl LockManager {
         let slot = ts.agent_slot;
         let deadline = Instant::now() + self.config.lock_timeout;
         let mut blockers: Vec<u32> = Vec::with_capacity(8);
+        // One digest allocation per blocked wait, reused across polls.
+        let mut digest = self.digests.make_set();
         loop {
             let st = req.wait_for_grant(self.config.deadlock_poll, deadline);
             if st == RequestStatus::Granted {
@@ -398,7 +437,9 @@ impl LockManager {
                     return Ok(());
                 }
                 if self.config.deadlock == DeadlockPolicy::Dreadlocks {
-                    deadlocked = self.digests.check_and_publish(slot, &blockers);
+                    deadlocked = self
+                        .digests
+                        .check_and_publish_with(slot, &blockers, &mut digest);
                 }
             }
             if timed_out || deadlocked {
@@ -446,6 +487,13 @@ impl LockManager {
     pub fn end_txn(&self, ts: &mut TxnLockState, agent: &mut AgentSliState, commit: bool) {
         let _work = sli_profiler::enter(Category::Work(Component::LockManager));
         let sli_cfg = &self.config.sli;
+        // Requests released during this pass, recycled into the agent's
+        // free pool at the very end — only after `ts.cache` drops its
+        // clones, or the exclusivity check would reject every one of them.
+        // The buffer itself is agent-owned scratch so the commit path
+        // allocates nothing in steady state.
+        let mut released = std::mem::take(&mut agent.release_scratch);
+        debug_assert!(released.is_empty());
 
         // Phase 1: resolve leftovers from the previous hand-off. Requests
         // reclaimed by this transaction were already removed; what remains
@@ -457,7 +505,8 @@ impl LockManager {
             for (req, head) in leftovers {
                 match req.status() {
                     RequestStatus::Invalid => {
-                        // Already unlinked by the invalidator; just drop.
+                        // Already unlinked by the invalidator; recycle.
+                        released.push(req);
                     }
                     RequestStatus::Inherited => {
                         // Decision point 3: keep the unused hand-off parked
@@ -472,6 +521,7 @@ impl LockManager {
                             agent.inherited.push((req, head));
                         } else {
                             self.discard_inherited(&req, &head);
+                            released.push(req);
                         }
                     }
                     other => debug_assert!(false, "inherited entry in impossible state {other:?}"),
@@ -532,6 +582,7 @@ impl LockManager {
                 agent.inherited.push((req, head));
             } else {
                 self.release_one(&req, &head);
+                released.push(req);
             }
         }
 
@@ -542,6 +593,13 @@ impl LockManager {
         }
         ts.cache.clear();
         ts.aborted = false;
+        // Recycle: with the cache's clones dropped, each released request
+        // is normally unshared again and feeds the next transaction's
+        // allocation-free acquires (pool_put re-verifies exclusivity).
+        for req in released.drain(..) {
+            agent.pool_put(req);
+        }
+        agent.release_scratch = released;
     }
 
     /// Retire an agent: release everything still parked on it and recycle
@@ -1033,6 +1091,55 @@ mod tests {
         m.end_txn(&mut ts, &mut agent, true);
         assert_eq!(agent.inherited_count(), 0);
         assert_eq!(m.stats().snapshot().sli_inherited, 0);
+    }
+
+    #[test]
+    fn warm_pool_makes_steady_state_acquires_allocation_free() {
+        let m = mgr(false);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        // Warm-up transaction: allocates one request per lock (db, table,
+        // page, record); commit releases them into the agent's pool.
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
+        m.end_txn(&mut ts, &mut agent, true);
+        let warm = m.stats().snapshot();
+        assert_eq!(warm.requests_allocated, 4, "cold start allocates");
+        assert_eq!(agent.pooled_count(), 4, "released requests pooled");
+        // Steady state: every fresh acquire recycles from the pool.
+        for _ in 0..100 {
+            m.begin(&mut ts, &mut agent);
+            m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+                .unwrap();
+            m.end_txn(&mut ts, &mut agent, true);
+        }
+        let after = m.stats().snapshot();
+        assert_eq!(
+            after.requests_allocated, warm.requests_allocated,
+            "steady-state uncontended acquire must not heap-allocate"
+        );
+        assert_eq!(
+            after.requests_pooled - warm.requests_pooled,
+            400,
+            "4 locks x 100 transactions all served by the pool"
+        );
+        m.retire_agent(&mut agent);
+    }
+
+    #[test]
+    fn pool_capacity_is_respected() {
+        let mut cfg = LockManagerConfig::with_policy(crate::PolicyKind::Baseline);
+        cfg.request_pool_cap = 2;
+        let m = LockManager::new(cfg);
+        let mut agent = m.register_agent().unwrap();
+        let mut ts = TxnLockState::new(agent.slot());
+        m.begin(&mut ts, &mut agent);
+        m.lock(&mut ts, &mut agent, rec(1, 0, 0), LockMode::S)
+            .unwrap();
+        m.end_txn(&mut ts, &mut agent, true);
+        assert_eq!(agent.pooled_count(), 2, "pool capped below locks/txn");
+        m.retire_agent(&mut agent);
     }
 
     #[test]

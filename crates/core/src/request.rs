@@ -80,8 +80,9 @@ impl RequestStatus {
 /// One transaction's (or agent's) claim on one lock.
 pub struct LockRequest {
     id: LockId,
-    /// Agent slot of the owning thread; never changes (inheritance stays on
-    /// the same agent).
+    /// Agent slot of the owning thread. Never changes while the request is
+    /// live (inheritance stays on the same agent); only pool recycling
+    /// (`reinit`, under provable exclusivity) may rebind it.
     agent: u32,
     /// Sequence number of the owning transaction; updated on reclaim.
     txn: AtomicU64,
@@ -129,6 +130,33 @@ impl LockRequest {
             wait_lock: Mutex::new(()),
             wait_cv: Condvar::new(),
         }
+    }
+
+    /// Re-initialize a recycled request in place for a new acquisition —
+    /// the allocation-free fast path's replacement for `Arc::new`. Takes
+    /// `&mut self`, which the pool obtains via `Arc::get_mut`: the request
+    /// is provably unshared (strong count 1, no queue/cache/agent refs), so
+    /// no concurrent observer can see the transition.
+    pub(crate) fn reinit(
+        &mut self,
+        id: LockId,
+        agent: u32,
+        txn: u64,
+        mode: LockMode,
+        convert_to: LockMode,
+        status: RequestStatus,
+    ) {
+        debug_assert!(
+            !self.status().holds_lock(),
+            "recycling a request that still holds a lock"
+        );
+        self.id = id;
+        self.agent = agent;
+        *self.txn.get_mut() = txn;
+        *self.mode.get_mut() = mode as u8;
+        *self.convert_to.get_mut() = convert_to as u8;
+        *self.status.get_mut() = status as u8;
+        *self.unused_generations.get_mut() = 0;
     }
 
     /// The lock this request is for.

@@ -20,19 +20,71 @@ use crate::mode::LockMode;
 use crate::request::LockRequest;
 use crate::txn::Entry;
 
-/// Thread-local inherited-lock list for one agent thread.
+/// Default capacity of the per-agent [`LockRequest`] free pool (see
+/// [`crate::LockManagerConfig::request_pool_cap`]).
+pub const DEFAULT_REQUEST_POOL_CAP: usize = 64;
+
+/// Thread-local inherited-lock list for one agent thread, plus the agent's
+/// [`LockRequest`] free pool.
+///
+/// The pool makes the steady-state acquire path allocation-free: released
+/// requests whose `Arc` is provably unshared are parked here and recycled
+/// by the next fresh acquire instead of `Arc::new` (the paper stresses the
+/// fast path should not be "allocating requests", Section 4.1).
 pub struct AgentSliState {
     slot: u32,
     pub(crate) inherited: Vec<Entry>,
+    /// Recycled, unshared requests (capacity-capped).
+    pool: Vec<Arc<LockRequest>>,
+    pool_cap: usize,
+    /// Reusable commit-path scratch for released requests awaiting
+    /// recycling, so `end_txn` itself allocates nothing in steady state.
+    pub(crate) release_scratch: Vec<Arc<LockRequest>>,
 }
 
 impl AgentSliState {
-    /// State for agent `slot` with an empty inherited list.
+    /// State for agent `slot` with an empty inherited list and the default
+    /// request-pool capacity.
     pub fn new(slot: u32) -> Self {
+        Self::with_pool_cap(slot, DEFAULT_REQUEST_POOL_CAP)
+    }
+
+    /// State for agent `slot` with an explicit request-pool capacity
+    /// (0 disables pooling).
+    pub fn with_pool_cap(slot: u32, pool_cap: usize) -> Self {
         AgentSliState {
             slot,
             inherited: Vec::with_capacity(16),
+            pool: Vec::with_capacity(pool_cap.min(16)),
+            pool_cap,
+            release_scratch: Vec::with_capacity(16),
         }
+    }
+
+    /// Number of requests currently parked in the free pool.
+    pub fn pooled_count(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Take a recycled request from the pool, if any.
+    pub(crate) fn pool_get(&mut self) -> Option<Arc<LockRequest>> {
+        self.pool.pop()
+    }
+
+    /// Offer a released request back to the pool. Accepts it only when the
+    /// pool has room and the `Arc` is unshared (no queue, cache, or foreign
+    /// reference survives), so a pooled request can never be observed by
+    /// anyone but its next `reinit`. Returns whether the request was kept.
+    pub(crate) fn pool_put(&mut self, mut req: Arc<LockRequest>) -> bool {
+        debug_assert!(
+            !req.status().holds_lock(),
+            "pooling a request that still holds a lock"
+        );
+        if self.pool.len() >= self.pool_cap || Arc::get_mut(&mut req).is_none() {
+            return false;
+        }
+        self.pool.push(req);
+        true
     }
 
     /// The agent's slot (identity for deadlock digests).

@@ -48,6 +48,13 @@ pub struct LockStats {
     /// Record-level S locks dropped at commit-LSN by an early-release
     /// policy, before the log flush.
     early_released: AtomicU64,
+    // Request free-pool effectiveness (the allocation-free acquire path).
+    /// Fresh acquires served by recycling a pooled request (no heap
+    /// allocation).
+    requests_pooled: AtomicU64,
+    /// Fresh acquires that had to heap-allocate a request (cold pool, pool
+    /// exhausted, or pooling disabled).
+    requests_allocated: AtomicU64,
     // Transactions.
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -82,6 +89,8 @@ impl LockStats {
     bump!(on_sli_discarded, sli_discarded);
     bump!(on_sli_hot_not_inherited, sli_hot_not_inherited);
     bump!(on_early_released, early_released);
+    bump!(on_request_pooled, requests_pooled);
+    bump!(on_request_allocated, requests_allocated);
     bump!(on_commit, commits);
     bump!(on_abort, aborts);
 
@@ -119,6 +128,8 @@ impl LockStats {
             sli_discarded: self.sli_discarded.load(Ordering::Relaxed),
             sli_hot_not_inherited: self.sli_hot_not_inherited.load(Ordering::Relaxed),
             early_released: self.early_released.load(Ordering::Relaxed),
+            requests_pooled: self.requests_pooled.load(Ordering::Relaxed),
+            requests_allocated: self.requests_allocated.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
         }
@@ -147,6 +158,8 @@ pub struct LockStatsSnapshot {
     pub sli_discarded: u64,
     pub sli_hot_not_inherited: u64,
     pub early_released: u64,
+    pub requests_pooled: u64,
+    pub requests_allocated: u64,
     pub commits: u64,
     pub aborts: u64,
 }
@@ -174,6 +187,8 @@ impl LockStatsSnapshot {
             sli_discarded: self.sli_discarded - earlier.sli_discarded,
             sli_hot_not_inherited: self.sli_hot_not_inherited - earlier.sli_hot_not_inherited,
             early_released: self.early_released - earlier.early_released,
+            requests_pooled: self.requests_pooled - earlier.requests_pooled,
+            requests_allocated: self.requests_allocated - earlier.requests_allocated,
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
         }

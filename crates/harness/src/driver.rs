@@ -58,6 +58,9 @@ pub struct RunResult {
     pub report: Report,
     /// Lock-manager counter delta over the window.
     pub lock_delta: sli_engine::LockStatsSnapshot,
+    /// Latch-parking counter delta over the window (process-global:
+    /// park/unpark/spin traffic from every latch in the engine).
+    pub park_delta: sli_latch::ParkingStats,
     /// Agents used.
     pub agents: usize,
 }
@@ -82,7 +85,7 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
     let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
     let start_barrier = Arc::new(Barrier::new(cfg.agents + 1));
 
-    let (results, wall, lock_delta) = std::thread::scope(|scope| {
+    let (results, wall, lock_delta, park_delta) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.agents);
         for a in 0..cfg.agents {
             let phase = Arc::clone(&phase);
@@ -128,16 +131,23 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
         std::thread::sleep(cfg.warmup);
         phase.store(PHASE_MEASURE, Ordering::Release);
         let lock_before = db.lock_stats();
+        let park_before = sli_latch::parking_stats();
         let t0 = Instant::now();
         std::thread::sleep(cfg.measure);
         let wall = t0.elapsed();
         let lock_after = db.lock_stats();
+        let park_after = sli_latch::parking_stats();
         phase.store(PHASE_STOP, Ordering::Release);
         let outcomes: Vec<AgentOutcome> = handles
             .into_iter()
             .map(|h| h.join().expect("agent"))
             .collect();
-        (outcomes, wall, lock_after.delta(&lock_before))
+        (
+            outcomes,
+            wall,
+            lock_after.delta(&lock_before),
+            park_after.delta(&park_before),
+        )
     });
 
     let commits: u64 = results.iter().map(|r| r.commits).sum();
@@ -157,6 +167,7 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
         sys_aborts,
         report,
         lock_delta,
+        park_delta,
         agents: cfg.agents,
     }
 }

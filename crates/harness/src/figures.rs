@@ -745,6 +745,107 @@ pub fn policy_matrix(scale: &ExperimentScale) -> Vec<PolicyMatrixRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Latch scaling (oversubscription: agents past core count)
+// ---------------------------------------------------------------------------
+
+/// One cell of the latch-scaling experiment: one policy at one
+/// oversubscription multiple.
+#[derive(Clone, Debug)]
+pub struct LatchScalingRow {
+    /// Policy display name.
+    pub policy: &'static str,
+    /// Agent threads offered (`multiple` × available cores).
+    pub agents: usize,
+    /// Oversubscription multiple (agents / cores).
+    pub multiple: usize,
+    /// Attempts per second.
+    pub throughput: f64,
+    /// Threads parked on a latch wait queue during the window.
+    pub parks: u64,
+    /// Directed wakeups issued by releasing threads.
+    pub unparks: u64,
+    /// Adaptive-spin iterations burned by contended latch acquires.
+    pub spins: u64,
+    /// Fresh acquires served by the per-agent request pool (no alloc).
+    pub requests_pooled: u64,
+    /// Fresh acquires that heap-allocated a request.
+    pub requests_allocated: u64,
+    /// % cpu time contending in the lock manager.
+    pub lockmgr_contention_pct: f64,
+}
+
+/// The oversubscription sweep: agents at 1×–8× the core count, `PaperSli`
+/// vs `Baseline`, on the TM1 NDBB mix. With the old spin-then-sleep latch
+/// backoff, throughput fell off a cliff past 1× cores (every contended
+/// latch wait degenerated into 50 µs timed-sleep polling); with queued
+/// parking the curve should stay flat or degrade gently, with `parks`
+/// tracking `unparks` (waiters woken directly by releasers) and
+/// `requests_pooled` dwarfing `requests_allocated` once pools are warm.
+pub fn latch_scaling(scale: &ExperimentScale) -> Vec<LatchScalingRow> {
+    use sli_engine::PolicyKind;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\n== Latch scaling: agents past core count ({cores} cores, NDBB mix) ==");
+    println!(
+        "{:>10} {:>4} {:>7} {:>12} {:>9} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "policy",
+        "x",
+        "agents",
+        "attempts/s",
+        "parks",
+        "unparks",
+        "spins",
+        "pooled",
+        "alloc'd",
+        "lm-cont%"
+    );
+    let mut rows = Vec::new();
+    for kind in [PolicyKind::Baseline, PolicyKind::PaperSli] {
+        let mut cfg = crate::setup::db_config_for(kind);
+        // The whole point is exceeding the core count; give the lock
+        // manager agent headroom beyond the default.
+        cfg.lock.max_agents = cfg.lock.max_agents.max(8 * cores + 8);
+        let db = Database::open(cfg);
+        let tm1 = Tm1::load(&db, scale.tm1_subscribers, 42);
+        let mix = tm1.ndbb_mix();
+        for multiple in [1usize, 2, 4, 8] {
+            let agents = multiple * cores;
+            let r = run_workload(&db, &mix, &run_cfg(scale, agents));
+            let d = &r.lock_delta;
+            let p = &r.park_delta;
+            let row = LatchScalingRow {
+                policy: kind.name(),
+                agents,
+                multiple,
+                throughput: r.attempts_per_sec,
+                parks: p.parks,
+                unparks: p.unparks,
+                spins: p.spins,
+                requests_pooled: d.requests_pooled,
+                requests_allocated: d.requests_allocated,
+                lockmgr_contention_pct: pct(r.report.contention_fraction(Component::LockManager)),
+            };
+            println!(
+                "{:>10} {:>4} {:>7} {:>12.0} {:>9} {:>9} {:>10} {:>9} {:>9} {:>9.1}",
+                row.policy,
+                row.multiple,
+                row.agents,
+                row.throughput,
+                row.parks,
+                row.unparks,
+                row.spins,
+                row.requests_pooled,
+                row.requests_allocated,
+                row.lockmgr_contention_pct
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,6 +903,25 @@ mod tests {
         assert!(
             rate("aggressive") >= rate("paper-sli"),
             "aggressive inherited less per commit than paper-sli"
+        );
+    }
+
+    #[test]
+    fn latch_scaling_runs_at_smoke_scale() {
+        let scale = ExperimentScale::smoke();
+        let rows = latch_scaling(&scale);
+        assert_eq!(rows.len(), 2 * 4, "two policies x four multiples");
+        for r in &rows {
+            assert!(r.throughput > 0.0, "{r:?}");
+            assert!(r.agents == r.multiple * rows[0].agents, "ladder shape");
+        }
+        // Warm request pools: the steady state must be dominated by
+        // recycled requests, not allocations.
+        let pooled: u64 = rows.iter().map(|r| r.requests_pooled).sum();
+        let allocated: u64 = rows.iter().map(|r| r.requests_allocated).sum();
+        assert!(
+            pooled > allocated,
+            "pooled={pooled} allocated={allocated}: pool not working"
         );
     }
 

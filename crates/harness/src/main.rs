@@ -3,7 +3,8 @@
 //! ```text
 //! sli-harness <experiment> [...]
 //!   experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//!                ablation-criteria bimodal roving-hotspot policy-matrix all
+//!                ablation-criteria bimodal roving-hotspot policy-matrix
+//!                latch-scaling all
 //! ```
 //!
 //! Scale with environment variables (see `sli-harness --help` or the crate
@@ -27,6 +28,7 @@ experiments:
   bimodal            Section 4.4 bimodal workload
   roving-hotspot     Section 4.4 roving hotspot
   policy-matrix      LockPolicy ablation: all five policies x agent counts
+  latch-scaling      oversubscription sweep: agents at 1x-8x cores, parking counters
   all                everything above, in order
 
 environment: SLI_MEASURE_MS (400) SLI_WARMUP_MS (200) SLI_MAX_AGENTS (nproc)
@@ -71,6 +73,9 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
         "policy-matrix" => {
             figures::policy_matrix(scale);
         }
+        "latch-scaling" => {
+            figures::latch_scaling(scale);
+        }
         "all" => {
             for exp in [
                 "fig1",
@@ -85,6 +90,7 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
                 "bimodal",
                 "roving-hotspot",
                 "policy-matrix",
+                "latch-scaling",
             ] {
                 run_one(exp, scale);
             }

@@ -27,6 +27,12 @@ pub use raw::{Latch, LatchGuard};
 pub use rw::{RwLatch, RwReadGuard, RwWriteGuard};
 pub use stats::LatchStats;
 
+// The waiter subsystem behind every latch: global park/unpark counters,
+// re-exported so the harness can report spins-vs-parks per measurement
+// window without depending on the vendored crate directly.
+pub use parking_lot::parking::ParkingStats;
+pub use parking_lot::parking_stats;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +87,29 @@ mod tests {
         drop(g);
         assert!(h.join().unwrap());
         assert!(latch.stats().contended() >= 1);
+    }
+
+    #[test]
+    fn long_contended_wait_parks_instead_of_spinning() {
+        // Holder keeps the latch far past any spin budget: the waiter must
+        // park (descheduled, woken by the release), and the latch's stats
+        // must record the spin/park split of that wait.
+        let latch = Arc::new(Latch::new(Component::LockManager));
+        let g = latch.acquire();
+        let l2 = Arc::clone(&latch);
+        let h = std::thread::spawn(move || {
+            let _g = l2.acquire();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(g);
+        h.join().unwrap();
+        assert!(latch.stats().contended() >= 1);
+        assert!(
+            latch.stats().parks() >= 1,
+            "a 50ms wait must park, not spin (spins={} parks={})",
+            latch.stats().spins(),
+            latch.stats().parks()
+        );
     }
 
     #[test]

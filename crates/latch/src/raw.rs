@@ -39,12 +39,17 @@ impl Latch {
                 contended: false,
             };
         }
-        // Contended slow path.
+        // Contended slow path: adaptive spin, then queued parking. The
+        // whole wait is charged to `LatchWait(component)`; the spin/park
+        // split is recorded separately so reports can tell busy-waiting
+        // from descheduled waiting.
         self.stats.record(true);
+        let profile;
         {
             let _wait = sli_profiler::enter(Category::LatchWait(self.component));
-            self.raw.lock();
+            profile = self.raw.lock_profiled();
         }
+        self.stats.record_wait(profile.spins, profile.parks);
         LatchGuard {
             latch: self,
             contended: true,

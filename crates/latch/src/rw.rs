@@ -37,10 +37,12 @@ impl RwLatch {
             };
         }
         self.stats.record(true);
+        let profile;
         {
             let _wait = sli_profiler::enter(Category::LatchWait(self.component));
-            self.raw.lock_shared();
+            profile = self.raw.lock_shared_profiled();
         }
+        self.stats.record_wait(profile.spins, profile.parks);
         RwReadGuard {
             latch: self,
             contended: true,
@@ -58,10 +60,12 @@ impl RwLatch {
             };
         }
         self.stats.record(true);
+        let profile;
         {
             let _wait = sli_profiler::enter(Category::LatchWait(self.component));
-            self.raw.lock_exclusive();
+            profile = self.raw.lock_exclusive_profiled();
         }
+        self.stats.record_wait(profile.spins, profile.parks);
         RwWriteGuard {
             latch: self,
             contended: true,

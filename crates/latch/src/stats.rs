@@ -12,6 +12,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct LatchStats {
     acquires: AtomicU64,
     contended: AtomicU64,
+    /// Adaptive-spin iterations burned by contended acquisitions (busy
+    /// CPU while waiting).
+    spins: AtomicU64,
+    /// Times a contended acquisition parked its thread (descheduled,
+    /// woken by the releasing thread).
+    parks: AtomicU64,
 }
 
 impl LatchStats {
@@ -29,6 +35,19 @@ impl LatchStats {
         }
     }
 
+    /// Record how a contended acquisition waited: spin iterations vs real
+    /// parks. Distinguishes the two halves of the `LatchWait` profiler
+    /// attribution (spinning burns the core; parking cedes it).
+    #[inline]
+    pub fn record_wait(&self, spins: u32, parks: u32) {
+        if spins > 0 {
+            self.spins.fetch_add(u64::from(spins), Ordering::Relaxed);
+        }
+        if parks > 0 {
+            self.parks.fetch_add(u64::from(parks), Ordering::Relaxed);
+        }
+    }
+
     /// Total acquisitions.
     pub fn acquires(&self) -> u64 {
         self.acquires.load(Ordering::Relaxed)
@@ -37,6 +56,16 @@ impl LatchStats {
     /// Acquisitions that hit the contended path.
     pub fn contended(&self) -> u64 {
         self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Spin iterations burned by contended acquisitions.
+    pub fn spins(&self) -> u64 {
+        self.spins.load(Ordering::Relaxed)
+    }
+
+    /// Thread parks performed by contended acquisitions.
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
     }
 
     /// Lifetime contention ratio in `[0, 1]`; 0 when never acquired.

@@ -31,8 +31,11 @@ fn mixed_readers_writers_inserters_deleters() {
     }
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
+    // Agent count knob: CI's oversubscription job sets this to 4× the
+    // runner's cores so every latch wait can actually park.
+    let agents: u64 = env_or("SLI_STRESS_AGENTS", 8);
     // Net insert/delete balance per thread, to check record counts at end.
-    for i in 0..8u64 {
+    for i in 0..agents {
         let db = Arc::clone(&db);
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
@@ -41,7 +44,7 @@ fn mixed_readers_writers_inserters_deleters() {
             let mut net = 0i64;
             // Each thread owns a private key range for inserts/deletes so
             // the net count is exactly accountable.
-            let base = 1_000 + i * 1_000;
+            let base = 1_000 + i * 100_000;
             let mut next = base;
             while !stop.load(Ordering::Relaxed) {
                 match rng.gen_range(0..10) {

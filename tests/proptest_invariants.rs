@@ -120,6 +120,78 @@ proptest! {
         prop_assert_eq!(m.live_lock_heads(), 0, "lock heads leaked");
     }
 
+    /// Request-pool safety: recycling released/invalidated requests through
+    /// the per-agent free pool never resurrects a dead (`Released`/
+    /// `Invalid`) request into a live lock queue. Two agents alternate
+    /// transactions with everything heated, so the inherit → invalidate →
+    /// recycle → reinit churn is maximal, with a tiny pool capacity to
+    /// force constant turnover.
+    #[test]
+    fn pooled_requests_never_resurrect_into_live_queues(
+        txns in prop::collection::vec(
+            prop::collection::vec((arb_lock_id(), arb_mode()), 1..8),
+            2..10,
+        ),
+    ) {
+        use sli::core::RequestStatus;
+        let mut cfg = LockManagerConfig::with_policy(PolicyKind::PaperSli);
+        cfg.request_pool_cap = 4;
+        let m = LockManager::new(cfg);
+        let mut agents: Vec<_> = (0..2)
+            .map(|_| {
+                let a = m.register_agent().unwrap();
+                let ts = TxnLockState::new(a.slot());
+                (a, ts)
+            })
+            .collect();
+        // Every id any transaction touched (plus ancestors implicitly):
+        // the audit universe for live lock heads.
+        let mut touched: Vec<LockId> = vec![LockId::Database];
+        for (i, ops) in txns.iter().enumerate() {
+            let (agent, ts) = &mut agents[i % 2];
+            m.begin(ts, agent);
+            for (id, mode) in ops {
+                if *mode == LockMode::NL {
+                    continue;
+                }
+                m.lock(ts, agent, *id, *mode).unwrap();
+                let (anc, n) = id.ancestors_top_down();
+                for a in anc.iter().take(n).chain(std::iter::once(id)) {
+                    if !touched.contains(a) {
+                        touched.push(*a);
+                    }
+                    // Heat everything so inheritance (and therefore
+                    // invalidation by the other agent) fires constantly.
+                    if let Some(h) = m.head(*a) {
+                        for _ in 0..16 {
+                            h.hot().record(true);
+                        }
+                    }
+                }
+            }
+            m.end_txn(ts, agent, true);
+            // Audit: no live queue may contain a dead request — a recycled
+            // (pooled + reinitialized) Arc must never still be linked.
+            for id in &touched {
+                if let Some(head) = m.head(*id) {
+                    let q = head.latch_untracked();
+                    for r in q.reqs.iter() {
+                        let st = r.status();
+                        prop_assert!(
+                            st != RequestStatus::Released && st != RequestStatus::Invalid,
+                            "dead request {st:?} for {:?} resurrected in {id:?}'s queue",
+                            r.lock_id()
+                        );
+                    }
+                }
+            }
+        }
+        for (mut agent, _) in agents {
+            m.retire_agent(&mut agent);
+        }
+        prop_assert_eq!(m.live_lock_heads(), 0, "lock heads leaked");
+    }
+
     /// Rolling back a random batch of engine operations restores the exact
     /// pre-transaction state (undo correctness).
     #[test]

@@ -1,20 +1,29 @@
 //! Vendored, API-compatible subset of the `parking_lot` crate.
 //!
 //! The build environment has no access to crates.io, so the workspace ships
-//! this minimal stand-in implementing exactly the surface the SLI crates
-//! use: `Mutex`/`MutexGuard`, `Condvar` (with `wait`/`wait_for`),
-//! `RwLock`, and the raw primitives `RawMutex`/`RawRwLock` together with
-//! the `lock_api` traits they implement.
+//! this stand-in implementing exactly the surface the SLI crates use:
+//! `Mutex`/`MutexGuard`, `Condvar` (with `wait`/`wait_for`), `RwLock`, and
+//! the raw primitives `RawMutex`/`RawRwLock` together with the `lock_api`
+//! traits they implement.
 //!
-//! Blocking primitives are built on `std::sync`; the raw primitives use a
-//! bounded spin (with `yield_now`) before falling back to short parked
-//! sleeps, approximating parking_lot's adaptive spin-then-park behaviour
-//! closely enough for correctness and for the latch-contention accounting
-//! the paper reproduction relies on.
+//! All blocking primitives are built on the [`parking`] module — a real
+//! parking-lot-style waiter subsystem with address-keyed wait queues over
+//! `std::thread::park`/`unpark`. A contended acquire adaptively spins
+//! (bounded, tunable via `SLI_LATCH_SPIN`), then enqueues itself and
+//! sleeps until the releasing thread wakes it directly. There are no timed
+//! sleeps anywhere in the acquire paths: under oversubscription a release
+//! makes its waiter runnable immediately instead of leaving it to poll on
+//! a 50 µs timer, which is what the old spin-then-sleep stand-in did.
 
+use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+pub mod parking;
+
+use parking::{ParkResult, ParkingStats, TOKEN_HANDOFF, TOKEN_NORMAL};
 
 /// `lock_api`-compatible raw lock traits (subset).
 pub mod lock_api {
@@ -72,66 +81,353 @@ pub mod lock_api {
     }
 }
 
-const SPIN_LIMIT: u32 = 64;
-const PARK_SLEEP: Duration = Duration::from_micros(50);
+/// How a contended raw-lock acquisition waited: adaptive-spin iterations
+/// burned and times the thread actually parked. Threaded through
+/// `sli-latch`'s [`LatchStats`-style] counters so profiles can distinguish
+/// spinning (busy CPU) from parking (descheduled).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaitProfile {
+    /// Spin/yield iterations before (between) parks.
+    pub spins: u32,
+    /// Times the thread went to sleep on the wait queue.
+    pub parks: u32,
+}
 
+/// Adaptive spin budget before parking, overridable with `SLI_LATCH_SPIN`
+/// (0 parks immediately). The default is deliberately small: spinning only
+/// pays off when the holder is running on another core, and past the
+/// budget a parked waiter costs nothing.
+fn spin_limit() -> u32 {
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        std::env::var("SLI_LATCH_SPIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40)
+    })
+}
+
+/// One adaptive-spin step: exponential busy-spin, never `yield_now`.
+///
+/// Yielding looks polite but is catastrophic under oversubscription: with
+/// many runnable CPU-bound threads, one `yield_now` can cost a full
+/// scheduler rotation (hundreds of µs observed), and a waiter that retries
+/// through a yield-laden budget burns tens of ms while the lock turns over
+/// thousands of times. A waiter that outlives the (cheap, ns-scale) spin
+/// budget should park — the wakeup is directed, so parking early costs one
+/// futex round-trip, not a poll.
 #[inline]
-fn backoff(attempt: u32) {
-    if attempt < SPIN_LIMIT {
+fn spin_step(step: u32) {
+    for _ in 0..(1u32 << step.min(5)) {
         std::hint::spin_loop();
-    } else if attempt < SPIN_LIMIT * 2 {
-        std::thread::yield_now();
-    } else {
-        std::thread::sleep(PARK_SLEEP);
     }
 }
 
-/// Raw spin-then-park mutex (stand-in for `parking_lot::RawMutex`).
+/// Parked-wait safety-net deadline (see the comment at the `park` call in
+/// [`RawMutex::lock_slow`]). A timed-out waiter simply revalidates and
+/// re-parks; there is no polling loop in the common case.
+const SAFETY_NET: Duration = Duration::from_millis(1);
+
+/// Re-export of the parking counters for harness reporting.
+pub fn parking_stats() -> ParkingStats {
+    parking::stats()
+}
+
+// ---------------------------------------------------------------------------
+// RawMutex
+// ---------------------------------------------------------------------------
+
+const LOCKED: u8 = 1;
+/// Set while at least one thread is (or is about to be) parked on the
+/// mutex. An unlock that observes it must hand the bit's knowledge to the
+/// parking lot ([`parking::unpark_one`]'s callback keeps it set while more
+/// waiters remain).
+const PARKED: u8 = 2;
+
+/// Raw word-sized mutex with adaptive spin and queued parking (stand-in
+/// for `parking_lot::RawMutex`).
 pub struct RawMutex {
-    state: AtomicUsize,
+    state: AtomicU8,
+}
+
+impl RawMutex {
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// [`lock_api::RawMutex::lock`] that also reports how the acquisition
+    /// waited. The uncontended path performs a single CAS.
+    #[inline]
+    pub fn lock_profiled(&self) -> WaitProfile {
+        if self
+            .state
+            .compare_exchange_weak(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return WaitProfile::default();
+        }
+        self.lock_slow()
+    }
+
+    #[cold]
+    fn lock_slow(&self) -> WaitProfile {
+        let mut profile = WaitProfile::default();
+        let mut spins = 0u32;
+        let limit = spin_limit();
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & LOCKED == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(s, s | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    parking::note_spins(u64::from(profile.spins));
+                    return profile;
+                }
+                continue;
+            }
+            // Keep spinning only while nobody is parked (parked waiters
+            // have queue priority for fairness of wakeup) and the budget
+            // lasts.
+            if s & PARKED == 0 {
+                if spins < limit {
+                    spin_step(spins);
+                    spins += 1;
+                    profile.spins += 1;
+                    continue;
+                }
+                if self
+                    .state
+                    .compare_exchange_weak(s, s | PARKED, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+            }
+            let r = parking::park(
+                self.addr(),
+                || self.state.load(Ordering::Relaxed) == LOCKED | PARKED,
+                || {},
+                // Safety-net deadline, NOT a poll: wakeups arrive directed
+                // and immediately. But a wake is delivered in two steps
+                // (state update under the bucket lock, then the OS unpark),
+                // and on a fully loaded core the waker can be preempted
+                // between them — leaving a wake pending-but-undelivered for
+                // multiple scheduler timeslices (tens of ms observed). The
+                // deadline bounds that pathology; it is 20× coarser than
+                // the old 50 µs sleep-poll and fires only in that window.
+                Some(Instant::now() + SAFETY_NET),
+            );
+            if r != ParkResult::Invalid {
+                // Unparked or safety-net timeout: the thread really slept.
+                profile.parks += 1;
+            }
+            if r == ParkResult::Unparked(TOKEN_HANDOFF) {
+                // Fair wake: the unlocking thread transferred ownership to
+                // us directly (state already LOCKED on our behalf).
+                parking::note_spins(u64::from(profile.spins));
+                return profile;
+            }
+            // Woken, timed out, or validation failed because the lock
+            // changed: retry with a fresh mini spin budget.
+            spins = 0;
+        }
+    }
 }
 
 unsafe impl lock_api::RawMutex for RawMutex {
     const INIT: RawMutex = RawMutex {
-        state: AtomicUsize::new(0),
+        state: AtomicU8::new(0),
     };
 
     #[inline]
     fn lock(&self) {
-        let mut attempt = 0u32;
-        while self
-            .state
-            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            backoff(attempt);
-            attempt = attempt.wrapping_add(1);
-        }
+        let _ = self.lock_profiled();
     }
 
     #[inline]
     fn try_lock(&self) -> bool {
-        self.state
-            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+        let s = self.state.load(Ordering::Relaxed);
+        s & LOCKED == 0
+            && self
+                .state
+                .compare_exchange(s, s | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
     }
 
     #[inline]
     unsafe fn unlock(&self) {
-        self.state.store(0, Ordering::Release);
+        if self
+            .state
+            .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        self.unlock_slow();
     }
 }
 
+impl RawMutex {
+    #[cold]
+    fn unlock_slow(&self) {
+        // PARKED is set: wake the first waiter, keeping the bit while more
+        // remain. The state store runs under the bucket lock, so a parker's
+        // validate cannot interleave with it. On a fair wake (periodic
+        // anti-barging, see `UnparkResult::be_fair`) the lock is handed to
+        // the woken thread directly: LOCKED stays set on its behalf, so no
+        // spinning thread can steal the lock and starve it.
+        parking::unpark_one(self.addr(), |r| {
+            if r.unparked && r.be_fair {
+                let next = LOCKED | if r.have_more { PARKED } else { 0 };
+                self.state.store(next, Ordering::Release);
+                TOKEN_HANDOFF
+            } else {
+                let next = if r.unparked && r.have_more { PARKED } else { 0 };
+                self.state.store(next, Ordering::Release);
+                TOKEN_NORMAL
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RawRwLock
+// ---------------------------------------------------------------------------
+
 const WRITER: usize = usize::MAX;
 
-/// Raw spin-then-park reader-writer lock (stand-in for
-/// `parking_lot::RawRwLock`). Writers take priority via a pending flag so
-/// a stream of readers cannot starve a writer indefinitely.
+/// Raw reader-writer lock with adaptive spin and queued parking (stand-in
+/// for `parking_lot::RawRwLock`).
+///
+/// Writers take priority via the `pending_writers` flag so a stream of
+/// readers cannot starve a writer indefinitely (the anti-starvation
+/// behaviour of the previous spin-then-sleep version survives). Writer
+/// handoff: an exclusive unlock with pending writers wakes exactly one
+/// parked writer; only when no writer is pending are all parked readers
+/// released.
+///
+/// Readers park on `addr + 1`, writers on `addr` (lock addresses are word
+/// aligned, so the two keys never collide across objects). The
+/// reader-defer check (`pending_writers`) against the last-reader wakeup
+/// check is a store-buffering race, hence the `SeqCst` orderings on the
+/// four accesses involved.
 pub struct RawRwLock {
     /// `0` = free, `WRITER` = exclusively held, else the shared count.
     state: AtomicUsize,
-    /// Number of writers waiting; readers defer to them.
+    /// Number of writers spinning or parked; readers defer to them.
     pending_writers: AtomicUsize,
+}
+
+impl RawRwLock {
+    #[inline]
+    fn writer_key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    #[inline]
+    fn reader_key(&self) -> usize {
+        self as *const _ as usize + 1
+    }
+
+    /// Profiled shared acquisition.
+    #[inline]
+    pub fn lock_shared_profiled(&self) -> WaitProfile {
+        if self.pending_writers.load(Ordering::SeqCst) == 0
+            && lock_api::RawRwLock::try_lock_shared(self)
+        {
+            return WaitProfile::default();
+        }
+        self.lock_shared_slow()
+    }
+
+    #[cold]
+    fn lock_shared_slow(&self) -> WaitProfile {
+        let mut profile = WaitProfile::default();
+        let mut spins = 0u32;
+        let limit = spin_limit();
+        loop {
+            if self.pending_writers.load(Ordering::SeqCst) == 0
+                && lock_api::RawRwLock::try_lock_shared(self)
+            {
+                parking::note_spins(u64::from(profile.spins));
+                return profile;
+            }
+            if spins < limit {
+                spin_step(spins);
+                spins += 1;
+                profile.spins += 1;
+                continue;
+            }
+            let r = parking::park(
+                self.reader_key(),
+                || {
+                    self.pending_writers.load(Ordering::SeqCst) != 0
+                        || self.state.load(Ordering::SeqCst) == WRITER
+                },
+                || {},
+                // Same pending-wake safety net as RawMutex::lock_slow.
+                Some(Instant::now() + SAFETY_NET),
+            );
+            if r != ParkResult::Invalid {
+                // Unparked or safety-net timeout: the thread really slept.
+                profile.parks += 1;
+            }
+            spins = 0;
+        }
+    }
+
+    /// Profiled exclusive acquisition.
+    #[inline]
+    pub fn lock_exclusive_profiled(&self) -> WaitProfile {
+        if self
+            .state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return WaitProfile::default();
+        }
+        self.lock_exclusive_slow()
+    }
+
+    #[cold]
+    fn lock_exclusive_slow(&self) -> WaitProfile {
+        let mut profile = WaitProfile::default();
+        self.pending_writers.fetch_add(1, Ordering::SeqCst);
+        let mut spins = 0u32;
+        let limit = spin_limit();
+        loop {
+            if self
+                .state
+                .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.pending_writers.fetch_sub(1, Ordering::SeqCst);
+                parking::note_spins(u64::from(profile.spins));
+                return profile;
+            }
+            if spins < limit {
+                spin_step(spins);
+                spins += 1;
+                profile.spins += 1;
+                continue;
+            }
+            let r = parking::park(
+                self.writer_key(),
+                || self.state.load(Ordering::SeqCst) != 0,
+                || {},
+                // Same pending-wake safety net as RawMutex::lock_slow.
+                Some(Instant::now() + SAFETY_NET),
+            );
+            if r != ParkResult::Invalid {
+                // Unparked or safety-net timeout: the thread really slept.
+                profile.parks += 1;
+            }
+            spins = 0;
+        }
+    }
 }
 
 unsafe impl lock_api::RawRwLock for RawRwLock {
@@ -142,14 +438,7 @@ unsafe impl lock_api::RawRwLock for RawRwLock {
 
     #[inline]
     fn lock_shared(&self) {
-        let mut attempt = 0u32;
-        loop {
-            if self.pending_writers.load(Ordering::Relaxed) == 0 && self.try_lock_shared() {
-                return;
-            }
-            backoff(attempt);
-            attempt = attempt.wrapping_add(1);
-        }
+        let _ = self.lock_shared_profiled();
     }
 
     #[inline]
@@ -164,22 +453,17 @@ unsafe impl lock_api::RawRwLock for RawRwLock {
 
     #[inline]
     unsafe fn unlock_shared(&self) {
-        self.state.fetch_sub(1, Ordering::Release);
+        if self.state.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.pending_writers.load(Ordering::SeqCst) > 0
+        {
+            // Last reader out with a writer waiting: hand off.
+            parking::unpark_one(self.writer_key(), |_| TOKEN_NORMAL);
+        }
     }
 
     #[inline]
     fn lock_exclusive(&self) {
-        self.pending_writers.fetch_add(1, Ordering::Relaxed);
-        let mut attempt = 0u32;
-        while self
-            .state
-            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            backoff(attempt);
-            attempt = attempt.wrapping_add(1);
-        }
-        self.pending_writers.fetch_sub(1, Ordering::Relaxed);
+        let _ = self.lock_exclusive_profiled();
     }
 
     #[inline]
@@ -191,51 +475,67 @@ unsafe impl lock_api::RawRwLock for RawRwLock {
 
     #[inline]
     unsafe fn unlock_exclusive(&self) {
-        self.state.store(0, Ordering::Release);
+        self.state.store(0, Ordering::SeqCst);
+        if self.pending_writers.load(Ordering::SeqCst) > 0 {
+            // Writer handoff: the pending flag keeps readers deferring, so
+            // wake the next writer rather than the whole reader crowd.
+            parking::unpark_one(self.writer_key(), |_| TOKEN_NORMAL);
+        } else {
+            parking::unpark_all(self.reader_key());
+        }
     }
 }
 
-/// Mutex with parking_lot's panic-free, non-poisoning API.
+// ---------------------------------------------------------------------------
+// Mutex / MutexGuard
+// ---------------------------------------------------------------------------
+
+/// Mutex with parking_lot's panic-free, non-poisoning API, built directly
+/// on [`RawMutex`] so [`Condvar`] can interoperate with it through the
+/// parking lot.
 pub struct Mutex<T: ?Sized> {
-    inner: std::sync::Mutex<T>,
+    raw: RawMutex,
+    data: UnsafeCell<T>,
 }
+
+// SAFETY: the raw mutex serializes access to `data`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
     /// Create a new unlocked mutex.
     pub const fn new(value: T) -> Self {
         Mutex {
-            inner: std::sync::Mutex::new(value),
+            raw: <RawMutex as lock_api::RawMutex>::INIT,
+            data: UnsafeCell::new(value),
         }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the mutex, blocking the current thread until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
-        }
+        lock_api::RawMutex::lock(&self.raw);
+        MutexGuard { mutex: self }
     }
 
     /// Try to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        if lock_api::RawMutex::try_lock(&self.raw) {
+            Some(MutexGuard { mutex: self })
+        } else {
+            None
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.data.get_mut()
     }
 }
 
@@ -255,25 +555,35 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
 }
 
 /// RAII guard for [`Mutex`].
-///
-/// The inner `Option` is always `Some` between `Condvar` waits; it exists
-/// so `Condvar::wait` can move the std guard out and back through `&mut`.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_ref().expect("guard present")
+        // SAFETY: the guard's existence proves the mutex is held.
+        unsafe { &*self.mutex.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_mut().expect("guard present")
+        // SAFETY: the guard's existence proves the mutex is held.
+        unsafe { &mut *self.mutex.data.get() }
     }
 }
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the guard's existence proves the mutex is held.
+        unsafe { lock_api::RawMutex::unlock(&self.mutex.raw) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
 
 /// Result of a timed condition-variable wait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -286,51 +596,75 @@ impl WaitTimeoutResult {
     }
 }
 
-/// Condition variable compatible with [`Mutex`]/[`MutexGuard`].
+/// Condition variable compatible with [`Mutex`]/[`MutexGuard`], built on
+/// the parking lot. Waiters enqueue on the condvar's address *before*
+/// releasing the mutex, so a notify between the release and the sleep
+/// cannot be missed; `notify_one`/`notify_all` report real woken counts.
 pub struct Condvar {
-    inner: std::sync::Condvar,
+    /// Never read: parking state lives in the global lot, keyed by this
+    /// condvar's address. The field exists to make `Condvar` non-zero-sized
+    /// — a ZST has no unique address, so boxed/collected condvars (or a
+    /// ZST field co-located with another lock by layout) would share wait
+    /// queues and cross-deliver wakes. Real parking_lot keeps a state word
+    /// for the same reason.
+    _addr_identity: std::sync::atomic::AtomicU8,
 }
 
 impl Condvar {
     /// Create a new condition variable.
     pub const fn new() -> Self {
         Condvar {
-            inner: std::sync::Condvar::new(),
+            _addr_identity: std::sync::atomic::AtomicU8::new(0),
         }
     }
 
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
     /// Block until notified, releasing the guard's mutex while parked.
-    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let g = guard.inner.take().expect("guard present");
-        let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
-        guard.inner = Some(g);
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        let mutex = guard.mutex;
+        let r = parking::park(
+            self.addr(),
+            || true,
+            // SAFETY: the guard proves the mutex is held; it is re-locked
+            // below before the guard becomes usable again.
+            || unsafe { lock_api::RawMutex::unlock(&mutex.raw) },
+            None,
+        );
+        debug_assert_ne!(r, ParkResult::Invalid);
+        lock_api::RawMutex::lock(&mutex.raw);
     }
 
     /// Block until notified or `timeout` elapses.
-    pub fn wait_for<T>(
+    pub fn wait_for<T: ?Sized>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
-        let g = guard.inner.take().expect("guard present");
-        let (g, res) = match self.inner.wait_timeout(g, timeout) {
-            Ok(pair) => pair,
-            Err(e) => e.into_inner(),
-        };
-        guard.inner = Some(g);
-        WaitTimeoutResult(res.timed_out())
+        let mutex = guard.mutex;
+        let deadline = Instant::now().checked_add(timeout);
+        let r = parking::park(
+            self.addr(),
+            || true,
+            // SAFETY: as in `wait`.
+            || unsafe { lock_api::RawMutex::unlock(&mutex.raw) },
+            deadline,
+        );
+        lock_api::RawMutex::lock(&mutex.raw);
+        WaitTimeoutResult(r == ParkResult::TimedOut)
     }
 
-    /// Wake one parked waiter.
+    /// Wake one parked waiter. Returns whether a thread was woken.
     pub fn notify_one(&self) -> bool {
-        self.inner.notify_one();
-        true
+        parking::unpark_one(self.addr(), |_| TOKEN_NORMAL)
     }
 
-    /// Wake every parked waiter.
+    /// Wake every parked waiter, returning how many were woken.
     pub fn notify_all(&self) -> usize {
-        self.inner.notify_all();
-        0
+        parking::unpark_all(self.addr())
     }
 }
 
@@ -340,65 +674,71 @@ impl Default for Condvar {
     }
 }
 
-/// Reader-writer lock with parking_lot's non-poisoning API.
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Reader-writer lock with parking_lot's non-poisoning API, built on
+/// [`RawRwLock`].
 pub struct RwLock<T: ?Sized> {
-    inner: std::sync::RwLock<T>,
+    raw: RawRwLock,
+    data: UnsafeCell<T>,
 }
+
+// SAFETY: the raw rwlock serializes access to `data` (shared readers only
+// get `&T`).
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
     /// Create a new unlocked lock.
     pub const fn new(value: T) -> Self {
         RwLock {
-            inner: std::sync::RwLock::new(value),
+            raw: <RawRwLock as lock_api::RawRwLock>::INIT,
+            data: UnsafeCell::new(value),
         }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire in shared mode.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
-        }
+        lock_api::RawRwLock::lock_shared(&self.raw);
+        RwLockReadGuard { lock: self }
     }
 
     /// Acquire in exclusive mode.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
-        }
+        lock_api::RawRwLock::lock_exclusive(&self.raw);
+        RwLockWriteGuard { lock: self }
     }
 
     /// Try to acquire in shared mode without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
-                inner: e.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        if lock_api::RawRwLock::try_lock_shared(&self.raw) {
+            Some(RwLockReadGuard { lock: self })
+        } else {
+            None
         }
     }
 
     /// Try to acquire in exclusive mode without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
-                inner: e.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        if lock_api::RawRwLock::try_lock_exclusive(&self.raw) {
+            Some(RwLockWriteGuard { lock: self })
+        } else {
+            None
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.data.get_mut()
     }
 }
 
@@ -419,31 +759,48 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
 
 /// Shared-mode RAII guard for [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
-    inner: std::sync::RwLockReadGuard<'a, T>,
+    lock: &'a RwLock<T>,
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        // SAFETY: the guard's existence proves shared ownership.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the guard's existence proves shared ownership.
+        unsafe { lock_api::RawRwLock::unlock_shared(&self.lock.raw) };
     }
 }
 
 /// Exclusive-mode RAII guard for [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    inner: std::sync::RwLockWriteGuard<'a, T>,
+    lock: &'a RwLock<T>,
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        // SAFETY: the guard's existence proves exclusive ownership.
+        unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        // SAFETY: the guard's existence proves exclusive ownership.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the guard's existence proves exclusive ownership.
+        unsafe { lock_api::RawRwLock::unlock_exclusive(&self.lock.raw) };
     }
 }
 
@@ -451,6 +808,7 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
 mod tests {
     use super::lock_api::{RawMutex as _, RawRwLock as _};
     use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
     use std::sync::Arc;
 
     #[test]
@@ -474,6 +832,102 @@ mod tests {
         assert!(l.try_lock_exclusive());
         assert!(!l.try_lock_shared());
         unsafe { l.unlock_exclusive() };
+    }
+
+    #[test]
+    fn raw_mutex_parked_handoff() {
+        // Force the parked path: holder keeps the mutex long enough for the
+        // waiter to exhaust its spin budget and park, then releases; the
+        // unlock must wake the parked waiter.
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g += 1;
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn raw_mutex_stress_many_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 80_000);
+    }
+
+    #[test]
+    fn rwlock_concurrent_reader_writer_stress() {
+        let l = Arc::new(RwLock::new(0u64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            let l = Arc::clone(&l);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if i % 3 == 0 {
+                        *l.write() += 1;
+                        local += 1;
+                    } else {
+                        let _v = *l.read();
+                    }
+                }
+                local
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        let wrote: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(*l.read(), wrote);
+    }
+
+    #[test]
+    fn rwlock_writer_not_starved_by_readers() {
+        // Regression: a continuous stream of readers must not starve a
+        // writer (the pending flag defers new readers).
+        let l = Arc::new(RwLock::new(0u64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _g = l.read();
+                }
+            }));
+        }
+        let t0 = Instant::now();
+        {
+            let mut w = l.write();
+            *w = 42;
+        }
+        let write_latency = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 42);
+        assert!(
+            write_latency < Duration::from_secs(2),
+            "writer starved: {write_latency:?}"
+        );
     }
 
     #[test]
@@ -501,5 +955,92 @@ mod tests {
         *m.lock() = true;
         cv.notify_all();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_notify_counts_are_real() {
+        // No waiters: notify reports nothing woken (the old stand-in
+        // returned constant true/0 regardless).
+        let cv = Condvar::new();
+        assert!(!cv.notify_one());
+        assert_eq!(cv.notify_all(), 0);
+
+        // Three waiters: notify_all reports all of them.
+        let pair = Arc::new((Mutex::new(false), Condvar::new(), AtomicUsize::new(0)));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let p = Arc::clone(&pair);
+            handles.push(std::thread::spawn(move || {
+                let (m, cv, waiting) = &*p;
+                let mut done = m.lock();
+                while !*done {
+                    waiting.fetch_add(1, Ordering::SeqCst);
+                    cv.wait(&mut done);
+                }
+            }));
+        }
+        let (m, cv, waiting) = &*pair;
+        // Wait until all three are registered and inside wait() (they
+        // increment under the mutex, so once we can take the mutex and see
+        // 3, all three have enqueued on the condvar).
+        loop {
+            let g = m.lock();
+            if waiting.load(Ordering::SeqCst) >= 3 {
+                drop(g);
+                break;
+            }
+            drop(g);
+            std::thread::yield_now();
+        }
+        *m.lock() = true;
+        assert_eq!(cv.notify_all(), 3);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn condvar_timed_wait_cross_thread_notify() {
+        // A timed wait must return untimed-out when notified in time.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            let mut timed_out = false;
+            while !*done && !timed_out {
+                timed_out = cv.wait_for(&mut done, Duration::from_secs(5)).timed_out();
+            }
+            timed_out
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_one();
+        assert!(!h.join().unwrap(), "wait timed out despite notify");
+    }
+
+    #[test]
+    fn mutex_guard_counter_consistency() {
+        let m = Arc::new(Mutex::new(0u64));
+        let c = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let mut g = m.lock();
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed);
+                    *g += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8_000);
+        assert_eq!(c.load(Ordering::Relaxed), 8_000);
     }
 }

@@ -1,0 +1,509 @@
+//! Address-keyed thread parking — the waiter subsystem behind every raw
+//! lock in this crate.
+//!
+//! This is a compact reimplementation of the real parking lot's core idea
+//! (itself derived from WebKit's `WTF::ParkingLot` and Linux futexes): a
+//! global, hashed array of *buckets*, each holding a tiny spin lock and a
+//! FIFO queue of waiting threads keyed by an address. A thread that must
+//! block calls [`park`] with the address of the lock it waits on and a
+//! `validate` closure; the closure runs *under the bucket lock* and
+//! re-checks the wait condition, which is what makes the protocol free of
+//! missed wakeups:
+//!
+//! * a waker holding the bucket lock either finds the waiter already
+//!   enqueued (and wakes it), or
+//! * the waiter's `validate` runs after the waker released the bucket lock
+//!   and observes the updated lock state, refusing to park.
+//!
+//! Waiting itself is real thread parking (`std::thread::park`), so a
+//! blocked thread consumes no CPU and is woken by its waker directly —
+//! there is no timed-sleep polling anywhere in this module, which is the
+//! point: under oversubscription (more runnable threads than cores) a
+//! directed `unpark` makes the waiter runnable immediately, while the old
+//! spin-then-`sleep(50µs)` backoff could only notice a release when its
+//! own timer fired.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+use std::time::Instant;
+
+/// The default token delivered by wakes that carry no special meaning.
+pub const TOKEN_NORMAL: usize = 0;
+/// Direct-handoff token: the waker transferred lock ownership to the woken
+/// thread (eventual-fairness anti-barging, see [`UnparkResult::be_fair`]).
+pub const TOKEN_HANDOFF: usize = 1;
+
+/// Outcome of a [`park`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParkResult {
+    /// A waker dequeued and woke this thread, delivering the given token
+    /// (the [`unpark_one`] callback's return value, [`TOKEN_NORMAL`] for
+    /// [`unpark_all`]).
+    Unparked(usize),
+    /// `validate` returned false; the thread never slept.
+    Invalid,
+    /// The deadline passed before any waker arrived.
+    TimedOut,
+}
+
+impl ParkResult {
+    /// Whether the thread was woken by a waker (any token).
+    pub fn unparked(self) -> bool {
+        matches!(self, ParkResult::Unparked(_))
+    }
+}
+
+/// Result handed to the [`unpark_one`] callback, mirroring parking_lot's
+/// `UnparkResult`: whether a thread was dequeued, and whether more threads
+/// remain queued on the same address. The callback runs while the bucket
+/// lock is still held, so lock state updated inside it is consistent with
+/// the queue (a newly arriving parker's `validate` serializes behind it).
+#[derive(Clone, Copy, Debug)]
+pub struct UnparkResult {
+    /// A waiter was dequeued (and will be woken when the callback returns).
+    pub unparked: bool,
+    /// At least one more waiter remains queued on this address.
+    pub have_more: bool,
+    /// Eventual-fairness signal: set periodically (every ~0.5 ms per
+    /// bucket) so lock implementations can hand the lock directly to the
+    /// woken thread instead of letting barging threads starve it. Without
+    /// this, a waiter on an oversubscribed machine can lose the re-acquire
+    /// race indefinitely, re-parking at the tail each time.
+    pub be_fair: bool,
+}
+
+/// Per-thread parking slot, shared with wakers via `Arc` so a waker can
+/// still signal a slot whose thread raced ahead (e.g. timed out).
+struct ParkSlot {
+    thread: Thread,
+    /// Token from the waker, read by the parker after `notified`.
+    token: AtomicUsize,
+    /// Set (then `unpark`ed) by the waker that dequeued this thread.
+    notified: AtomicBool,
+}
+
+thread_local! {
+    static SLOT: Arc<ParkSlot> = Arc::new(ParkSlot {
+        thread: std::thread::current(),
+        token: AtomicUsize::new(TOKEN_NORMAL),
+        notified: AtomicBool::new(false),
+    });
+}
+
+/// Minimum interval between fair (direct-handoff) wakes per bucket.
+const FAIR_PERIOD: std::time::Duration = std::time::Duration::from_micros(500);
+
+/// One queued waiter.
+struct Waiter {
+    addr: usize,
+    slot: Arc<ParkSlot>,
+}
+
+/// Bucket state guarded by the bucket's word lock.
+struct BucketInner {
+    /// FIFO of waiters (mixed addresses; matched by `Waiter::addr`).
+    queue: Vec<Waiter>,
+    /// When the next wake from this bucket should be fair (direct
+    /// handoff). `None` until the first wake.
+    next_fair: Option<Instant>,
+}
+
+/// A bucket: an OS mutex protecting a FIFO of waiters. Cache-line
+/// aligned so adjacent buckets' futex words and queues never false-share
+/// under heavy park/unpark traffic (the hazard `DigestTable::stride_for`
+/// guards against on the digest side).
+///
+/// The bucket lock is `std::sync::Mutex` — on Linux a futex — rather than
+/// a user-space spin lock. Bucket critical sections are a handful of
+/// instructions, but under oversubscription a spin-yield lock has a
+/// pathological mode: when the holder is preempted mid-section, waiters
+/// yield in a storm while the scheduler rotates through every other
+/// runnable thread's timeslice before the holder runs again (tens of ms).
+/// The futex path blocks waiters in the kernel and hands the CPU straight
+/// back to the holder. (std's mutex is independent of this module, so no
+/// circularity.)
+#[repr(align(128))]
+struct Bucket {
+    inner: std::sync::Mutex<BucketInner>,
+}
+
+struct BucketGuard<'a>(std::sync::MutexGuard<'a, BucketInner>);
+
+impl Bucket {
+    const fn new() -> Self {
+        Bucket {
+            inner: std::sync::Mutex::new(BucketInner {
+                queue: Vec::new(),
+                next_fair: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> BucketGuard<'_> {
+        BucketGuard(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl BucketGuard<'_> {
+    fn queue(&mut self) -> &mut Vec<Waiter> {
+        &mut self.0.queue
+    }
+
+    /// Whether this wake should be a fair handoff, advancing the bucket's
+    /// fairness timer when it fires.
+    fn take_fairness(&mut self) -> bool {
+        let now = Instant::now();
+        match self.0.next_fair {
+            Some(t) if now < t => false,
+            _ => {
+                self.0.next_fair = Some(now + FAIR_PERIOD);
+                true
+            }
+        }
+    }
+}
+
+const NUM_BUCKETS: usize = 64;
+
+struct Buckets([Bucket; NUM_BUCKETS]);
+
+static BUCKETS: Buckets = {
+    // `[Bucket::new(); N]` needs Copy; splat through a const initializer.
+    // The interior mutability is the point — each array element is its own
+    // static bucket, initialized once here.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const B: Bucket = Bucket::new();
+    Buckets([B; NUM_BUCKETS])
+};
+
+#[inline]
+fn bucket_for(addr: usize) -> &'static Bucket {
+    // Fibonacci hash over the address (locks are >= word aligned, so the
+    // low bits carry no entropy).
+    let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &BUCKETS.0[(h >> (64 - 6)) % NUM_BUCKETS]
+}
+
+// Global park/unpark counters, reported by the harness's latch-scaling
+// experiment (delta over a measurement window).
+static PARKS: AtomicU64 = AtomicU64::new(0);
+static UNPARKS: AtomicU64 = AtomicU64::new(0);
+static PARK_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+static SPINS: AtomicU64 = AtomicU64::new(0);
+
+/// Record adaptive-spin iterations burned in a raw lock's slow path (the
+/// busy half of a contended wait, against `parks`' descheduled half).
+pub(crate) fn note_spins(n: u64) {
+    if n > 0 {
+        SPINS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the global parking counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParkingStats {
+    /// Threads that actually went to sleep in [`park`].
+    pub parks: u64,
+    /// Threads woken by [`unpark_one`] / [`unpark_all`].
+    pub unparks: u64,
+    /// Timed parks that expired without a wakeup.
+    pub park_timeouts: u64,
+    /// Adaptive-spin iterations burned by contended raw-lock acquires.
+    pub spins: u64,
+}
+
+impl ParkingStats {
+    /// Counter-wise `self - earlier`, for measurement windows.
+    pub fn delta(&self, earlier: &ParkingStats) -> ParkingStats {
+        ParkingStats {
+            parks: self.parks - earlier.parks,
+            unparks: self.unparks - earlier.unparks,
+            park_timeouts: self.park_timeouts - earlier.park_timeouts,
+            spins: self.spins - earlier.spins,
+        }
+    }
+}
+
+/// Snapshot the global park/unpark counters.
+pub fn stats() -> ParkingStats {
+    ParkingStats {
+        parks: PARKS.load(Ordering::Relaxed),
+        unparks: UNPARKS.load(Ordering::Relaxed),
+        park_timeouts: PARK_TIMEOUTS.load(Ordering::Relaxed),
+        spins: SPINS.load(Ordering::Relaxed),
+    }
+}
+
+/// Park the current thread on `addr` until a matching [`unpark_one`] /
+/// [`unpark_all`], the optional `deadline`, or a failed validation.
+///
+/// Protocol: the bucket lock is taken, `validate` re-checks the wait
+/// condition (return `false` to abort without sleeping), the thread is
+/// enqueued, the bucket lock is released, `before_sleep` runs (e.g. a
+/// condvar releasing its mutex), and the thread sleeps until signalled.
+pub fn park(
+    addr: usize,
+    validate: impl FnOnce() -> bool,
+    before_sleep: impl FnOnce(),
+    deadline: Option<Instant>,
+) -> ParkResult {
+    let slot = SLOT.with(Arc::clone);
+    slot.notified.store(false, Ordering::Relaxed);
+    slot.token.store(TOKEN_NORMAL, Ordering::Relaxed);
+    let bucket = bucket_for(addr);
+    {
+        let mut guard = bucket.lock();
+        if !validate() {
+            return ParkResult::Invalid;
+        }
+        guard.queue().push(Waiter {
+            addr,
+            slot: Arc::clone(&slot),
+        });
+    }
+    before_sleep();
+    PARKS.fetch_add(1, Ordering::Relaxed);
+    loop {
+        match deadline {
+            None => std::thread::park(),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    // Deadline passed: dequeue ourselves, unless a waker got
+                    // there first (then the wakeup is ours to consume).
+                    let mut guard = bucket.lock();
+                    let q = guard.queue();
+                    if let Some(pos) = q
+                        .iter()
+                        .position(|w| Arc::ptr_eq(&w.slot, &slot) && w.addr == addr)
+                    {
+                        q.remove(pos);
+                        PARK_TIMEOUTS.fetch_add(1, Ordering::Relaxed);
+                        return ParkResult::TimedOut;
+                    }
+                    drop(guard);
+                    while !slot.notified.load(Ordering::Acquire) {
+                        std::thread::park();
+                    }
+                    return ParkResult::Unparked(slot.token.load(Ordering::Acquire));
+                }
+                std::thread::park_timeout(d - now);
+            }
+        }
+        if slot.notified.load(Ordering::Acquire) {
+            return ParkResult::Unparked(slot.token.load(Ordering::Acquire));
+        }
+        // Spurious wakeup (or a stale token from an earlier race): re-sleep.
+    }
+}
+
+fn wake(w: Waiter, token: usize) {
+    UNPARKS.fetch_add(1, Ordering::Relaxed);
+    w.slot.token.store(token, Ordering::Release);
+    w.slot.notified.store(true, Ordering::Release);
+    w.slot.thread.unpark();
+}
+
+/// Wake the first thread parked on `addr`, if any. `callback` runs while
+/// the bucket lock is still held (before the thread is woken), receives
+/// whether a thread was dequeued, whether more remain, and the
+/// eventual-fairness signal, and returns the token to deliver to the woken
+/// thread — raw locks use it to clear/keep their "has parked waiters" bit
+/// and to perform direct handoffs atomically with the queue. Returns true
+/// when a thread was woken.
+pub fn unpark_one(addr: usize, callback: impl FnOnce(UnparkResult) -> usize) -> bool {
+    let bucket = bucket_for(addr);
+    let mut guard = bucket.lock();
+    match guard.queue().iter().position(|w| w.addr == addr) {
+        Some(pos) => {
+            let be_fair = guard.take_fairness();
+            let q = guard.queue();
+            let w = q.remove(pos);
+            let have_more = q.iter().any(|o| o.addr == addr);
+            let token = callback(UnparkResult {
+                unparked: true,
+                have_more,
+                be_fair,
+            });
+            drop(guard);
+            wake(w, token);
+            true
+        }
+        None => {
+            callback(UnparkResult {
+                unparked: false,
+                have_more: false,
+                be_fair: false,
+            });
+            false
+        }
+    }
+}
+
+/// Wake every thread parked on `addr`, returning how many were woken.
+pub fn unpark_all(addr: usize) -> usize {
+    let bucket = bucket_for(addr);
+    let mut guard = bucket.lock();
+    // Single stable O(n) sweep (waking happens after the bucket lock is
+    // released, so matching waiters must be moved out first).
+    let woken: Vec<Waiter> = guard.queue().extract_if(.., |w| w.addr == addr).collect();
+    drop(guard);
+    let n = woken.len();
+    for w in woken {
+        wake(w, TOKEN_NORMAL);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn invalid_validation_never_sleeps() {
+        let x = 0u64;
+        let addr = &x as *const _ as usize;
+        let r = park(addr, || false, || {}, None);
+        assert_eq!(r, ParkResult::Invalid);
+    }
+
+    #[test]
+    fn timed_park_expires() {
+        let x = 0u64;
+        let addr = &x as *const _ as usize;
+        let t0 = Instant::now();
+        let r = park(
+            addr,
+            || true,
+            || {},
+            Some(Instant::now() + Duration::from_millis(10)),
+        );
+        assert_eq!(r, ParkResult::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn unpark_one_wakes_exactly_one() {
+        static FLAG: AtomicUsize = AtomicUsize::new(0);
+        let addr = &FLAG as *const _ as usize;
+        let barrier = Arc::new(Barrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let b = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                b.wait();
+                park(addr, || FLAG.load(Ordering::SeqCst) == 0, || {}, None)
+            }));
+        }
+        barrier.wait();
+        // Retry until one waiter is queued and woken (the threads may not
+        // have parked yet; global counters are shared with other tests, so
+        // poll the queue through unpark_one itself).
+        let mut woke_first = false;
+        for _ in 0..1_000 {
+            if unpark_one(addr, |_| TOKEN_NORMAL) {
+                woke_first = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(woke_first, "first waiter never parked");
+        // Exactly one returned; the other stays parked (FLAG still 0).
+        std::thread::sleep(Duration::from_millis(20));
+        let finished = handles.iter().filter(|h| h.is_finished()).count();
+        assert_eq!(finished, 1);
+        FLAG.store(1, Ordering::SeqCst);
+        // The second waiter either parked (unpark_all wakes it) or now
+        // fails validation against FLAG; both resolve promptly.
+        unpark_all(addr);
+        for h in handles {
+            let r = h.join().unwrap();
+            assert!(r.unparked() || r == ParkResult::Invalid, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn no_missed_wakeup_race() {
+        // Hammer the enqueue/unpark race: a "releaser" flips a flag and
+        // unparks; the parker validates the flag under the bucket lock. If
+        // the protocol ever missed a wakeup the parker would hang forever.
+        for round in 0..200 {
+            let flag = Arc::new(AtomicBool::new(false));
+            let addr = Arc::as_ptr(&flag) as usize;
+            let f2 = Arc::clone(&flag);
+            let parker =
+                std::thread::spawn(move || park(addr, || !f2.load(Ordering::SeqCst), || {}, None));
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            flag.store(true, Ordering::SeqCst);
+            unpark_one(addr, |_| TOKEN_NORMAL);
+            let r = parker.join().unwrap();
+            assert!(r.unparked() || r == ParkResult::Invalid, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn many_thread_park_unpark_stress() {
+        // N threads lock-step through generations gated by park/unpark_all:
+        // each round, every parker must observe the generation advance. A
+        // missed wakeup strands a parker in the old generation; the 5 s
+        // deadline converts that hang into a hard failure.
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        let gen_counter = Arc::new(AtomicUsize::new(0));
+        let addr = Arc::as_ptr(&gen_counter) as usize;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let gen_counter = Arc::clone(&gen_counter);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    while gen_counter.load(Ordering::SeqCst) <= round {
+                        let r = park(
+                            addr,
+                            || gen_counter.load(Ordering::SeqCst) <= round,
+                            || {},
+                            Some(Instant::now() + Duration::from_secs(5)),
+                        );
+                        assert_ne!(r, ParkResult::TimedOut, "missed wakeup in round {round}");
+                    }
+                }
+            }));
+        }
+        for round in 0..ROUNDS {
+            gen_counter.store(round + 1, Ordering::SeqCst);
+            unpark_all(addr);
+            if round % 16 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn distinct_addresses_do_not_cross_wake() {
+        let a = 0u64;
+        let b = 0u64;
+        let addr_a = &a as *const _ as usize;
+        let addr_b = &b as *const _ as usize;
+        let h = std::thread::spawn(move || {
+            park(
+                addr_a,
+                || true,
+                || {},
+                Some(Instant::now() + Duration::from_millis(50)),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        // Waking b must not disturb the waiter on a (even on bucket
+        // collision, matching is by address).
+        unpark_all(addr_b);
+        assert_eq!(h.join().unwrap(), ParkResult::TimedOut);
+    }
+}
