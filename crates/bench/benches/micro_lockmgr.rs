@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sli_core::{
-    LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId, TxnLockState,
+    FastPathConfig, LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId,
+    TxnLockState,
 };
 
 fn rec(p: u32, s: u16) -> LockId {
@@ -58,7 +59,11 @@ fn bench_cache_hit(c: &mut Criterion) {
 /// transaction, with the hierarchy hot so db/table/page flow via SLI.
 fn bench_sli_reclaim_vs_fresh(c: &mut Criterion) {
     // SLI engine: heat the hierarchy so it is inherited between iterations.
-    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::PaperSli));
+    // Grant-word fast path off: this target measures the *reclaim* CAS, so
+    // the primed acquisitions must be queued (inheritable) requests.
+    let mut cfg = LockManagerConfig::with_policy(PolicyKind::PaperSli);
+    cfg.fastpath = FastPathConfig::disabled();
+    let m = LockManager::new(cfg);
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
     // Prime: run one transaction and heat the high-level heads.
@@ -172,6 +177,86 @@ fn bench_contended_acquire(c: &mut Criterion) {
         stop.store(true, Ordering::Relaxed);
         for h in bg {
             h.join().unwrap();
+        }
+    }
+}
+
+/// The grant-word A/B: compatible-mode (IS) acquire/release cycles against
+/// one hot table head, grant-word fast path vs pure latched path, with the
+/// thread count swept from 1 to 4x the available cores. One iteration =
+/// one full begin / lock(table, IS) / commit cycle on the measured thread
+/// while the background threads run the same loop continuously. With the
+/// word enabled every acquisition is a bare CAS (no head latch); disabled,
+/// each acquisition serializes on the head latch. The fast-path hit rate
+/// for the grant-word runs is printed afterwards; EXPERIMENTS.md records
+/// p50s and hit rates.
+fn bench_grant_word_hot_head(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut totals: Vec<usize> = vec![1, cores, 2 * cores, 4 * cores];
+    totals.dedup();
+    let table = LockId::Table(TableId(1));
+    for (name, fast) in [("grant_word", true), ("latched", false)] {
+        for &threads in &totals {
+            let mut cfg = LockManagerConfig::with_policy(PolicyKind::Baseline);
+            cfg.max_agents = cfg.max_agents.max(threads + 8);
+            cfg.fastpath = if fast {
+                // No sampling: measure the pure CAS path.
+                FastPathConfig {
+                    sample_every: 0,
+                    ..FastPathConfig::default()
+                }
+            } else {
+                FastPathConfig::disabled()
+            };
+            let m = LockManager::new(cfg);
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut bg = Vec::new();
+            for _ in 0..threads - 1 {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                bg.push(std::thread::spawn(move || {
+                    let mut agent = m.register_agent().unwrap();
+                    let mut ts = TxnLockState::new(agent.slot());
+                    while !stop.load(Ordering::Relaxed) {
+                        m.begin(&mut ts, &mut agent);
+                        m.lock(&mut ts, &mut agent, LockId::Table(TableId(1)), LockMode::IS)
+                            .unwrap();
+                        m.end_txn(&mut ts, &mut agent, true);
+                    }
+                    m.retire_agent(&mut agent);
+                }));
+            }
+            let mut agent = m.register_agent().unwrap();
+            let mut ts = TxnLockState::new(agent.slot());
+            c.bench_function(&format!("lockmgr/hot_head_is_{name}_t{threads}"), |b| {
+                b.iter(|| {
+                    m.begin(&mut ts, &mut agent);
+                    m.lock(&mut ts, &mut agent, table, LockMode::IS).unwrap();
+                    m.end_txn(&mut ts, &mut agent, true);
+                })
+            });
+            stop.store(true, Ordering::Relaxed);
+            for h in bg {
+                h.join().unwrap();
+            }
+            m.retire_agent(&mut agent);
+            if fast {
+                let s = m.stats().snapshot();
+                if s.fastpath_granted > 0 {
+                    println!(
+                        "    -> fast-path hit rate t{threads}: {:.4} \
+                         ({} granted, {} fallback, {} retry-exhausted)",
+                        s.fastpath_hit_rate(),
+                        s.fastpath_granted,
+                        s.fastpath_fallbacks,
+                        s.fastpath_retry_exhausted
+                    );
+                }
+            }
         }
     }
 }
@@ -311,6 +396,7 @@ criterion_group!(
     bench_reclaim_cas,
     bench_upgrade,
     bench_contended_acquire,
+    bench_grant_word_hot_head,
     bench_contended_latch
 );
 criterion_main!(benches);

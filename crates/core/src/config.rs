@@ -68,6 +68,54 @@ impl SliConfig {
     }
 }
 
+/// Tuning knobs for the grant-word fast path (latch-free compatible
+/// acquisitions; see `crate::word` for the protocol).
+#[derive(Clone, Copy, Debug)]
+pub struct FastPathConfig {
+    /// Master switch. `false` routes every fresh acquire through the
+    /// latched queue path (the pre-grant-word behaviour) — the A/B lever
+    /// for the `micro_lockmgr` and `grant-word` experiments.
+    pub enabled: bool,
+    /// CAS retries before a contended fast acquire falls back to the
+    /// latched path. Defaults to the `SLI_FASTPATH_RETRY` environment
+    /// variable, or 8.
+    pub retry_budget: u32,
+    /// Every Nth fast-path-eligible acquire per agent falls through to the
+    /// latched path so the active [`LockPolicy`]'s `on_acquire` heat
+    /// sampling still observes a fraction of the traffic (and, under SLI,
+    /// produces a queued request that *can* be inherited). 0 disables
+    /// sampling entirely (SLI's hot signal then starves on grant-word
+    /// heads — only useful for baseline measurements).
+    pub sample_every: u32,
+}
+
+impl Default for FastPathConfig {
+    fn default() -> Self {
+        FastPathConfig {
+            enabled: true,
+            retry_budget: env_knob("SLI_FASTPATH_RETRY", 8),
+            sample_every: 64,
+        }
+    }
+}
+
+impl FastPathConfig {
+    /// A configuration with the fast path disabled (pure latched paths).
+    pub fn disabled() -> Self {
+        FastPathConfig {
+            enabled: false,
+            ..FastPathConfig::default()
+        }
+    }
+}
+
+fn env_knob(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Deadlock handling strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeadlockPolicy {
@@ -108,6 +156,8 @@ pub struct LockManagerConfig {
     /// pooling). A warm pool makes the steady-state uncontended acquire
     /// path allocation-free.
     pub request_pool_cap: usize,
+    /// Grant-word fast-path knobs (latch-free compatible acquisitions).
+    pub fastpath: FastPathConfig,
 }
 
 impl Default for LockManagerConfig {
@@ -121,6 +171,7 @@ impl Default for LockManagerConfig {
             sli: SliConfig::default(),
             policy: Arc::new(PaperSli),
             request_pool_cap: crate::sli::DEFAULT_REQUEST_POOL_CAP,
+            fastpath: FastPathConfig::default(),
         }
     }
 }

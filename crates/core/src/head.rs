@@ -24,6 +24,7 @@ use crate::mode::{LockMode, NUM_MODES};
 use crate::policy::AcquireSample;
 use crate::request::{LockRequest, RequestStatus};
 use crate::stats::LockStats;
+use crate::word::GrantWord;
 
 /// Latch-protected state of one lock: the request queue plus a granted-mode
 /// summary so compatibility checks don't rescan the queue.
@@ -38,16 +39,59 @@ pub struct LockQueue {
     /// Set when this head has been unlinked from its hash bucket; probers
     /// that latched a stale `Arc` must retry.
     pub zombie: bool,
+    /// The head's grant word, shared with latch-free fast-path acquirers.
+    /// Every latched mutation re-publishes the queue-derived flag bits so
+    /// the word and the queue summary always agree (see `crate::word`).
+    word: Arc<GrantWord>,
 }
 
 impl LockQueue {
-    fn new() -> Self {
+    fn new(word: Arc<GrantWord>) -> Self {
         LockQueue {
             reqs: Vec::with_capacity(4),
             granted_counts: [0; NUM_MODES],
             waiters: 0,
             zombie: false,
+            word,
         }
+    }
+
+    /// Mirror the queue summary's flag bits into the grant word. Called
+    /// after every latched mutation; the latch serializes publishers, so
+    /// the last publish in a critical section always reflects the final
+    /// queue state.
+    fn publish(&self) {
+        self.word.publish(
+            self.granted_counts[LockMode::IX as usize] > 0,
+            self.granted_counts[LockMode::S as usize] > 0,
+            self.granted_counts[LockMode::SIX as usize] + self.granted_counts[LockMode::X as usize]
+                > 0,
+            self.waiters > 0,
+        );
+    }
+
+    /// Raise the latched-scan barrier: sets the word's WAIT flag, halting
+    /// new fast grants, so the fast counters can only decrease until the
+    /// next [`LockQueue`] mutation re-publishes. Callers must follow up
+    /// with a mutation or an explicit `publish` so the flag does not
+    /// stick. Caller holds the latch.
+    pub fn begin_scan(&self) {
+        self.word.begin_scan()
+    }
+
+    /// Atomically claim the word's queue-side flag for an immediately
+    /// grantable latched request, validating against fast-path holders in
+    /// the same CAS. Caller holds the latch and has verified queue-side
+    /// compatibility. On `false` the caller must take the wait path.
+    pub fn claim_queued(&self, mode: LockMode) -> bool {
+        self.word.claim_queued(mode)
+    }
+
+    /// Whether a current *fast-path* holder conflicts with `mode`. Valid
+    /// for grant decisions only while the word's WAIT flag is raised
+    /// (waiters present or barrier held), which freezes fast admissions.
+    pub fn fast_conflicts_with(&self, mode: LockMode) -> bool {
+        self.word.fast_conflicts_with(mode)
     }
 
     /// True when `mode` is compatible with every granted mode, not counting
@@ -72,12 +116,13 @@ impl LockQueue {
             .all(|(m, &c)| c == 0 || mode.compatible(crate::mode::ALL_MODES[m]))
     }
 
-    /// Append a freshly granted request (fast path: empty wait queue and
-    /// compatible mode).
+    /// Append a freshly granted request (immediate-grant path: empty wait
+    /// queue and compatible mode).
     pub fn push_granted(&mut self, req: Arc<LockRequest>) {
         debug_assert_eq!(req.status(), RequestStatus::Granted);
         self.granted_counts[req.mode() as usize] += 1;
         self.reqs.push(req);
+        self.publish();
     }
 
     /// Append a waiting request.
@@ -85,12 +130,14 @@ impl LockQueue {
         debug_assert_eq!(req.status(), RequestStatus::Waiting);
         self.waiters += 1;
         self.reqs.push(req);
+        self.publish();
     }
 
     /// Transition a granted request (already in the queue) to Converting.
     pub fn begin_convert(&mut self, req: &LockRequest, target: LockMode) {
         req.begin_convert(target);
         self.waiters += 1;
+        self.publish();
     }
 
     /// Abandon a conversion (victim path).
@@ -98,6 +145,7 @@ impl LockQueue {
         debug_assert_eq!(req.status(), RequestStatus::Converting);
         req.cancel_convert();
         self.waiters -= 1;
+        self.publish();
     }
 
     /// Unlink `req` from the queue, adjusting the summary. Returns true if
@@ -108,8 +156,16 @@ impl LockQueue {
         };
         let r = self.reqs.remove(pos);
         match r.status() {
-            RequestStatus::Granted | RequestStatus::Inherited => {
+            RequestStatus::Granted => {
                 self.dec_granted(r.mode());
+            }
+            RequestStatus::Inherited => {
+                self.dec_granted(r.mode());
+                // Unlinking an Inherited request without going through
+                // `invalidate_inherited` only happens on the owner's own
+                // discard path (release-from-Inherited), which pairs with
+                // the inc at inheritance time.
+                self.word.dec_inherited();
             }
             RequestStatus::Converting => {
                 self.dec_granted(r.mode());
@@ -122,6 +178,7 @@ impl LockQueue {
             // transitioned.
             RequestStatus::Invalid | RequestStatus::Released => {}
         }
+        self.publish();
         true
     }
 
@@ -173,6 +230,7 @@ impl LockQueue {
                     self.dec_granted(req.mode());
                     self.granted_counts[req.convert_to() as usize] += 1;
                     self.waiters -= 1;
+                    self.publish();
                     req.grant();
                     granted += 1;
                     progressed = true;
@@ -201,6 +259,7 @@ impl LockQueue {
             if self.try_admit(&req, req.convert_to(), stats) {
                 self.granted_counts[req.convert_to() as usize] += 1;
                 self.waiters -= 1;
+                self.publish();
                 req.grant();
                 granted += 1;
             } else {
@@ -219,6 +278,13 @@ impl LockQueue {
         mode: LockMode,
         stats: &LockStats,
     ) -> bool {
+        // Fast-path holders are real holders that can never be
+        // invalidated; while the word's WAIT flag is up (waiters exist),
+        // their counters only decrease, so this check cannot race a new
+        // fast grant.
+        if self.word.fast_conflicts_with(mode) {
+            return false;
+        }
         if self.compatible_with_granted(mode, Some(candidate)) {
             return true;
         }
@@ -262,20 +328,24 @@ impl LockQueue {
             return false;
         }
         self.dec_granted(req.mode());
+        self.word.dec_inherited();
         if let Some(pos) = self.reqs.iter().position(|r| Arc::ptr_eq(r, req)) {
             self.reqs.remove(pos);
         }
+        self.publish();
         true
     }
 
     /// In-place upgrade of a granted request whose target mode is already
     /// compatible (no wait needed). Caller holds the latch and has verified
-    /// compatibility.
+    /// compatibility — including claiming the grant word's queue-side flag
+    /// for `target` so the upgrade cannot race a fast-path grant.
     pub fn swap_granted_mode(&mut self, req: &Arc<LockRequest>, target: LockMode) {
         debug_assert_eq!(req.status(), RequestStatus::Granted);
         self.dec_granted(req.mode());
         self.granted_counts[target as usize] += 1;
         req.set_granted_mode(target);
+        self.publish();
     }
 
     /// Collect the agent slots that currently block `candidate`'s request
@@ -283,6 +353,12 @@ impl LockQueue {
     /// conflicting conversions (which have grant priority), and conflicting
     /// waiters queued ahead of the candidate. Conservative over-inclusion is
     /// fine (false positives only).
+    ///
+    /// Known limitation: grant-word fast-path holders carry no agent
+    /// identity and are invisible here, so a deadlock cycle whose edge
+    /// runs *only* through a fast-held lock publishes an empty digest and
+    /// is resolved by the lock timeout instead of Dreadlocks detection
+    /// (see README "grant word" section and the ROADMAP follow-up).
     pub fn collect_blockers(
         &self,
         candidate: &Arc<LockRequest>,
@@ -330,30 +406,40 @@ impl LockQueue {
     }
 }
 
-/// One lock's identity, hot tracker, and latched queue.
+/// One lock's identity, hot tracker, grant word, and latched queue.
 pub struct LockHead {
     id: LockId,
     hot: HotTracker,
     /// Lock-free mirror of `queue.waiters`, read by SLI's criterion 4
     /// without taking the latch.
     waiters_mirror: AtomicU32,
+    /// The packed grant state fast-path acquirers CAS against; also
+    /// referenced by `queue` so latched mutations keep it in sync.
+    word: Arc<GrantWord>,
     queue: Latched<LockQueue>,
 }
 
 impl LockHead {
     /// Fresh lock head for `id`.
     pub fn new(id: LockId) -> Arc<Self> {
+        let word = Arc::new(GrantWord::new());
         Arc::new(LockHead {
             id,
             hot: HotTracker::new(),
             waiters_mirror: AtomicU32::new(0),
-            queue: Latched::new(Component::LockManager, LockQueue::new()),
+            word: Arc::clone(&word),
+            queue: Latched::new(Component::LockManager, LockQueue::new(word)),
         })
     }
 
     /// The lock this head represents.
     pub fn id(&self) -> LockId {
         self.id
+    }
+
+    /// The head's grant word (latch-free fast path and diagnostics).
+    pub fn grant_word(&self) -> &GrantWord {
+        &self.word
     }
 
     /// Hot-lock tracker (criterion 2).
@@ -393,13 +479,20 @@ impl LockHead {
     /// therefore re-inherited) forever after real concurrency ends.
     pub fn latch_observe(&self, me: u32) -> (QueueGuard<'_>, AcquireSample) {
         let inner = self.queue.lock();
-        let shared = inner.reqs.iter().any(|r| {
-            r.agent() != me
-                && matches!(
-                    r.status(),
-                    RequestStatus::Granted | RequestStatus::Converting
-                )
-        });
+        // Fast-path holders never appear in `reqs`, but they are active
+        // cross-agent sharers all the same (the sampling acquirer cannot
+        // itself hold a fast entry here — that would have been a lock-cache
+        // hit). Without this term the every-Nth sampling fall-through would
+        // read hot grant-word heads as idle and SLI's heat signal would
+        // starve.
+        let shared = self.word.fast_total() > 0
+            || inner.reqs.iter().any(|r| {
+                r.agent() != me
+                    && matches!(
+                        r.status(),
+                        RequestStatus::Granted | RequestStatus::Converting
+                    )
+            });
         let sample = AcquireSample {
             latch_contended: inner.was_contended(),
             cross_agent_shared: shared,
@@ -632,8 +725,12 @@ mod tests {
         /// Test helper: push a request that is already Inherited.
         pub(crate) fn push_granted_raw_for_test(&mut self, req: Arc<LockRequest>) {
             assert!(req.status().holds_lock());
+            if req.status() == RequestStatus::Inherited {
+                self.word.inc_inherited();
+            }
             self.granted_counts[req.mode() as usize] += 1;
             self.reqs.push(req);
+            self.publish();
         }
     }
 }

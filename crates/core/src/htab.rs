@@ -50,12 +50,26 @@ impl LockTable {
     /// The returned head may race with [`LockTable::remove_if_empty`];
     /// callers must re-check `zombie` after latching the head's queue and
     /// retry the probe if set.
+    ///
+    /// The common hit path holds the bucket latch for a probe only; on a
+    /// miss the `LockHead` is constructed (one heap allocation plus a
+    /// grant-word allocation) *outside* the latch and inserted after a
+    /// re-probe, so head construction never extends a bucket critical
+    /// section. A racing creator wins harmlessly: the speculative
+    /// allocation is dropped.
     pub fn get_or_create(&self, id: LockId) -> Arc<LockHead> {
-        let mut b = self.bucket(id).lock();
-        if let Some(h) = b.heads.iter().find(|h| h.id() == id) {
-            return Arc::clone(h);
+        let bucket = self.bucket(id);
+        {
+            let b = bucket.lock();
+            if let Some(h) = b.heads.iter().find(|h| h.id() == id) {
+                return Arc::clone(h);
+            }
         }
         let head = LockHead::new(id);
+        let mut b = bucket.lock();
+        if let Some(h) = b.heads.iter().find(|h| h.id() == id) {
+            return Arc::clone(h); // lost the race; drop our allocation
+        }
         b.heads.push(Arc::clone(&head));
         head
     }
@@ -75,6 +89,13 @@ impl LockTable {
         // while latching a head, so this cannot deadlock.
         let mut q = head.latch_untracked();
         if !q.is_empty() || q.zombie {
+            return false;
+        }
+        // The grant-word side of the handshake: retirement only succeeds
+        // when no fast-path holder exists, via a CAS that linearizes
+        // against fast-acquire increments. A fast acquirer that loses the
+        // race observes the zombie flag and re-probes the table.
+        if !head.grant_word().try_retire() {
             return false;
         }
         q.zombie = true;

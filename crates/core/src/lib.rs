@@ -48,8 +48,9 @@ mod request;
 mod sli;
 mod stats;
 mod txn;
+mod word;
 
-pub use config::{DeadlockPolicy, LockManagerConfig, SliConfig};
+pub use config::{DeadlockPolicy, FastPathConfig, LockManagerConfig, SliConfig};
 pub use deadlock::{AgentSet, DigestTable, MAX_DIGEST_BITS};
 pub use error::LockError;
 pub use head::{LockHead, LockQueue, QueueGuard};
@@ -66,3 +67,4 @@ pub use request::{LockRequest, RequestStatus};
 pub use sli::{is_inheritance_candidate, AgentSliState, DEFAULT_REQUEST_POOL_CAP};
 pub use stats::{LockClass, LockStats, LockStatsSnapshot};
 pub use txn::TxnLockState;
+pub use word::{FastAcquire, GrantWord, GrantWordSnapshot, FAST_MODES};

@@ -131,6 +131,22 @@ impl LockMode {
         matches!(self, LockMode::IS | LockMode::IX)
     }
 
+    /// The grant word's compat-group classification: the index of this
+    /// mode's fast counter (`[IS, IX, S]`), or `None` for modes that can
+    /// never be granted latch-free (NL, SIX, X). These three are the
+    /// "group-compatible" modes: each is compatible with itself and with
+    /// IS, so hot heads dominated by them admit unbounded concurrent
+    /// holders — exactly the traffic the grant word takes off the latch.
+    #[inline]
+    pub fn fast_group_index(self) -> Option<usize> {
+        match self {
+            LockMode::IS => Some(0),
+            LockMode::IX => Some(1),
+            LockMode::S => Some(2),
+            _ => None,
+        }
+    }
+
     /// Short display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -253,6 +269,24 @@ mod tests {
         assert!(!SIX.covers_child(IX));
         assert!(!IS.covers_child(S));
         assert!(!IX.covers_child(IX));
+    }
+
+    #[test]
+    fn fast_group_membership_is_self_and_is_compatible() {
+        // A fast group mode must be compatible with itself and with every
+        // other fast group mode except the IX/S pair; anything compatible
+        // with that rule but excluded (SIX) is excluded because it is not
+        // self-compatible.
+        for m in ALL_MODES {
+            match m.fast_group_index() {
+                Some(i) => {
+                    assert!(m.compatible(m), "{m} must be self-compatible");
+                    assert!(m.compatible(IS));
+                    assert_eq!(i, [IS, IX, S].iter().position(|x| *x == m).unwrap());
+                }
+                None => assert!(m == NL || !m.compatible(m), "{m} wrongly excluded"),
+            }
+        }
     }
 
     #[test]

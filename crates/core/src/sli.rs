@@ -18,11 +18,15 @@ use crate::head::LockHead;
 use crate::id::LockId;
 use crate::mode::LockMode;
 use crate::request::LockRequest;
-use crate::txn::Entry;
+use crate::txn::QueuedEntry;
 
 /// Default capacity of the per-agent [`LockRequest`] free pool (see
 /// [`crate::LockManagerConfig::request_pool_cap`]).
 pub const DEFAULT_REQUEST_POOL_CAP: usize = 64;
+
+/// Capacity of the per-agent ancestor-head memo (database + table heads).
+/// Small and scanned linearly: transactions touch a handful of tables.
+const HEAD_MEMO_CAP: usize = 16;
 
 /// Thread-local inherited-lock list for one agent thread, plus the agent's
 /// [`LockRequest`] free pool.
@@ -33,13 +37,24 @@ pub const DEFAULT_REQUEST_POOL_CAP: usize = 64;
 /// fast path should not be "allocating requests", Section 4.1).
 pub struct AgentSliState {
     slot: u32,
-    pub(crate) inherited: Vec<Entry>,
+    pub(crate) inherited: Vec<QueuedEntry>,
     /// Recycled, unshared requests (capacity-capped).
     pool: Vec<Arc<LockRequest>>,
     pool_cap: usize,
     /// Reusable commit-path scratch for released requests awaiting
     /// recycling, so `end_txn` itself allocates nothing in steady state.
     pub(crate) release_scratch: Vec<Arc<LockRequest>>,
+    /// Memoized database/table lock heads, kept across transactions so the
+    /// steady-state hierarchy walk skips the hash table's bucket latch
+    /// entirely. Entries are zombie-checked on use and evicted lazily.
+    head_memo: Vec<(LockId, Arc<LockHead>)>,
+    /// Xorshift state driving the 1-in-N heat-sampling fall-through. A
+    /// plain modulo counter resonates with fixed locks-per-transaction
+    /// workloads (every txn would sample the *same* hierarchy position —
+    /// e.g. always the record, never the database — and SLI's hot signal
+    /// would never reach the ancestors); the PRNG decorrelates the sample
+    /// position from the transaction shape.
+    fastpath_rng: u32,
 }
 
 impl AgentSliState {
@@ -58,7 +73,65 @@ impl AgentSliState {
             pool: Vec::with_capacity(pool_cap.min(16)),
             pool_cap,
             release_scratch: Vec::with_capacity(16),
+            head_memo: Vec::with_capacity(HEAD_MEMO_CAP),
+            // Knuth-hash the slot into a nonzero xorshift seed so agents
+            // sample different phases.
+            fastpath_rng: slot.wrapping_mul(2654435761).wrapping_add(1) | 1,
         }
+    }
+
+    /// Look up a memoized lock head. The caller must still treat the head
+    /// as potentially stale (zombie-check it before use); this only skips
+    /// the bucket-latch probe.
+    pub(crate) fn memoized_head(&self, id: LockId) -> Option<&Arc<LockHead>> {
+        self.head_memo
+            .iter()
+            .find(|(mid, _)| *mid == id)
+            .map(|(_, h)| h)
+    }
+
+    /// Memoize a freshly probed head, evicting the oldest entry at
+    /// capacity.
+    pub(crate) fn memoize_head(&mut self, id: LockId, head: Arc<LockHead>) {
+        if let Some(slot) = self.head_memo.iter_mut().find(|(mid, _)| *mid == id) {
+            slot.1 = head;
+            return;
+        }
+        if self.head_memo.len() >= HEAD_MEMO_CAP {
+            self.head_memo.remove(0);
+        }
+        self.head_memo.push((id, head));
+    }
+
+    /// Drop a memo entry whose head turned out to be a zombie.
+    pub(crate) fn evict_head(&mut self, id: LockId) {
+        self.head_memo.retain(|(mid, _)| *mid != id);
+    }
+
+    /// Drop every memoized head (agent retirement).
+    pub(crate) fn clear_head_memo(&mut self) {
+        self.head_memo.clear();
+    }
+
+    /// Number of memoized ancestor heads (diagnostics).
+    pub fn memoized_heads(&self) -> usize {
+        self.head_memo.len()
+    }
+
+    /// Roll the sampling PRNG; returns true (with probability ~1/`every`)
+    /// when this acquire must fall through to the latched path for policy
+    /// heat sampling (`every` = 0 disables sampling).
+    pub(crate) fn fastpath_should_sample(&mut self, every: u32) -> bool {
+        if every == 0 {
+            return false;
+        }
+        // Xorshift32 (Marsaglia): three shifts, no multiplies.
+        let mut x = self.fastpath_rng;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.fastpath_rng = x;
+        x.is_multiple_of(every)
     }
 
     /// Number of requests currently parked in the free pool.

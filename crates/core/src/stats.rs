@@ -55,6 +55,32 @@ pub struct LockStats {
     /// Fresh acquires that had to heap-allocate a request (cold pool, pool
     /// exhausted, or pooling disabled).
     requests_allocated: AtomicU64,
+    // Grant-word fast path (latch-free compatible acquisitions).
+    /// Fresh acquires granted by a bare CAS on the grant word (no latch,
+    /// no request, no queue entry).
+    fastpath_granted: AtomicU64,
+    /// Fast-eligible acquires that fell back to the latched path because a
+    /// flag or conflicting holder blocked the word.
+    fastpath_fallbacks: AtomicU64,
+    /// Fast-eligible acquires that exhausted the CAS retry budget.
+    fastpath_retry_exhausted: AtomicU64,
+    /// Fast-eligible acquires deliberately routed through the latched path
+    /// so policy heat sampling sees them (every Nth per agent).
+    fastpath_sampled: AtomicU64,
+    /// Fast releases that observed the WAIT flag and had to latch + run a
+    /// grant pass (the no-lost-wakeup hand-off).
+    fastpath_slow_releases: AtomicU64,
+    // Per-agent ancestor-head memoization.
+    /// Database/table head probes served from the agent's memo (bucket
+    /// latch skipped).
+    headcache_hits: AtomicU64,
+    /// Database/table head probes that had to touch the hash table.
+    headcache_misses: AtomicU64,
+    // Ancestor-intention traffic, the metric behind the grant-word
+    // experiment: page-or-higher IS/IX acquisitions, split by whether they
+    // bypassed the head latch (grant-word CAS or SLI reclaim CAS).
+    ancestor_acquires: AtomicU64,
+    ancestor_bypassed: AtomicU64,
     // Transactions.
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -91,8 +117,25 @@ impl LockStats {
     bump!(on_early_released, early_released);
     bump!(on_request_pooled, requests_pooled);
     bump!(on_request_allocated, requests_allocated);
+    bump!(on_fastpath_granted, fastpath_granted);
+    bump!(on_fastpath_fallback, fastpath_fallbacks);
+    bump!(on_fastpath_retry_exhausted, fastpath_retry_exhausted);
+    bump!(on_fastpath_sampled, fastpath_sampled);
+    bump!(on_fastpath_slow_release, fastpath_slow_releases);
+    bump!(on_headcache_hit, headcache_hits);
+    bump!(on_headcache_miss, headcache_misses);
     bump!(on_commit, commits);
     bump!(on_abort, aborts);
+
+    /// Record one page-or-higher intention acquisition and whether it
+    /// bypassed the head latch.
+    #[inline]
+    pub fn on_ancestor_acquire(&self, bypassed: bool) {
+        self.ancestor_acquires.fetch_add(1, Ordering::Relaxed);
+        if bypassed {
+            self.ancestor_bypassed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 
     /// Record one lock in the Figure 8 census.
     #[inline]
@@ -130,6 +173,15 @@ impl LockStats {
             early_released: self.early_released.load(Ordering::Relaxed),
             requests_pooled: self.requests_pooled.load(Ordering::Relaxed),
             requests_allocated: self.requests_allocated.load(Ordering::Relaxed),
+            fastpath_granted: self.fastpath_granted.load(Ordering::Relaxed),
+            fastpath_fallbacks: self.fastpath_fallbacks.load(Ordering::Relaxed),
+            fastpath_retry_exhausted: self.fastpath_retry_exhausted.load(Ordering::Relaxed),
+            fastpath_sampled: self.fastpath_sampled.load(Ordering::Relaxed),
+            fastpath_slow_releases: self.fastpath_slow_releases.load(Ordering::Relaxed),
+            headcache_hits: self.headcache_hits.load(Ordering::Relaxed),
+            headcache_misses: self.headcache_misses.load(Ordering::Relaxed),
+            ancestor_acquires: self.ancestor_acquires.load(Ordering::Relaxed),
+            ancestor_bypassed: self.ancestor_bypassed.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
         }
@@ -160,6 +212,15 @@ pub struct LockStatsSnapshot {
     pub early_released: u64,
     pub requests_pooled: u64,
     pub requests_allocated: u64,
+    pub fastpath_granted: u64,
+    pub fastpath_fallbacks: u64,
+    pub fastpath_retry_exhausted: u64,
+    pub fastpath_sampled: u64,
+    pub fastpath_slow_releases: u64,
+    pub headcache_hits: u64,
+    pub headcache_misses: u64,
+    pub ancestor_acquires: u64,
+    pub ancestor_bypassed: u64,
     pub commits: u64,
     pub aborts: u64,
 }
@@ -189,6 +250,16 @@ impl LockStatsSnapshot {
             early_released: self.early_released - earlier.early_released,
             requests_pooled: self.requests_pooled - earlier.requests_pooled,
             requests_allocated: self.requests_allocated - earlier.requests_allocated,
+            fastpath_granted: self.fastpath_granted - earlier.fastpath_granted,
+            fastpath_fallbacks: self.fastpath_fallbacks - earlier.fastpath_fallbacks,
+            fastpath_retry_exhausted: self.fastpath_retry_exhausted
+                - earlier.fastpath_retry_exhausted,
+            fastpath_sampled: self.fastpath_sampled - earlier.fastpath_sampled,
+            fastpath_slow_releases: self.fastpath_slow_releases - earlier.fastpath_slow_releases,
+            headcache_hits: self.headcache_hits - earlier.headcache_hits,
+            headcache_misses: self.headcache_misses - earlier.headcache_misses,
+            ancestor_acquires: self.ancestor_acquires - earlier.ancestor_acquires,
+            ancestor_bypassed: self.ancestor_bypassed - earlier.ancestor_bypassed,
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
         }
@@ -219,6 +290,29 @@ impl LockStatsSnapshot {
     /// Total hot locks observed (the Figure 9 denominator).
     pub fn hot_locks(&self) -> u64 {
         self.census_hot_heritable + self.census_hot_non_heritable
+    }
+
+    /// Fraction of page-or-higher intention acquisitions that bypassed the
+    /// head latch (grant-word CAS or SLI reclaim CAS) — the grant-word
+    /// experiment's headline metric. 0.0 when none were observed.
+    pub fn ancestor_bypass_rate(&self) -> f64 {
+        if self.ancestor_acquires == 0 {
+            0.0
+        } else {
+            self.ancestor_bypassed as f64 / self.ancestor_acquires as f64
+        }
+    }
+
+    /// Fraction of fast-path *attempts* (granted + fallbacks + retry
+    /// exhaustion) that were granted by the CAS.
+    pub fn fastpath_hit_rate(&self) -> f64 {
+        let attempts =
+            self.fastpath_granted + self.fastpath_fallbacks + self.fastpath_retry_exhausted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.fastpath_granted as f64 / attempts as f64
+        }
     }
 }
 

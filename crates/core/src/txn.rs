@@ -16,7 +16,44 @@ use crate::request::{LockRequest, RequestStatus};
 
 /// A lock request together with its lock head, so release paths and SLI
 /// never re-probe the hash table.
-pub(crate) type Entry = (Arc<LockRequest>, Arc<LockHead>);
+pub(crate) type QueuedEntry = (Arc<LockRequest>, Arc<LockHead>);
+
+/// One lock a transaction holds: either a conventional queued request, or
+/// a lightweight grant-word fast-path hold (a CASed counter on the head —
+/// no `LockRequest`, no queue entry; release is a counter decrement).
+#[derive(Clone)]
+pub(crate) enum Entry {
+    /// A request linked into the head's latched queue.
+    Queued(Arc<LockRequest>, Arc<LockHead>),
+    /// A latch-free grant-word hold in the given (group-compatible) mode.
+    Fast(LockMode, Arc<LockHead>),
+}
+
+impl Entry {
+    /// The lock head this entry holds.
+    pub(crate) fn head(&self) -> &Arc<LockHead> {
+        match self {
+            Entry::Queued(_, h) | Entry::Fast(_, h) => h,
+        }
+    }
+
+    /// The lock's identity.
+    pub(crate) fn id(&self) -> LockId {
+        match self {
+            Entry::Queued(r, _) => r.lock_id(),
+            Entry::Fast(_, h) => h.id(),
+        }
+    }
+
+    /// The mode this entry currently holds (for queued entries, the
+    /// request's granted mode).
+    pub(crate) fn mode(&self) -> LockMode {
+        match self {
+            Entry::Queued(r, _) => r.mode(),
+            Entry::Fast(m, _) => *m,
+        }
+    }
+}
 
 /// Lock-management state of one running transaction.
 pub struct TxnLockState {
@@ -64,20 +101,50 @@ impl TxnLockState {
 
     /// The mode in which this transaction holds `id`, if any.
     pub fn held_mode(&self, id: LockId) -> Option<LockMode> {
-        let (req, _) = self.cache.get(&id)?;
-        match req.status() {
-            RequestStatus::Granted | RequestStatus::Converting if req.txn() == self.txn_seq => {
-                Some(req.mode())
-            }
-            _ => None,
+        match self.cache.get(&id)? {
+            Entry::Queued(req, _) => match req.status() {
+                RequestStatus::Granted | RequestStatus::Converting if req.txn() == self.txn_seq => {
+                    Some(req.mode())
+                }
+                _ => None,
+            },
+            // Fast entries never outlive the transaction (the cache is
+            // cleared at end_txn/reset), so presence implies ownership.
+            Entry::Fast(mode, _) => Some(*mode),
         }
+    }
+
+    /// The mode of a grant-word fast-path hold on `id`, if that is how
+    /// this transaction holds it (diagnostics and invariant tests).
+    pub fn holds_fast(&self, id: LockId) -> Option<LockMode> {
+        match self.cache.get(&id)? {
+            Entry::Fast(mode, _) => Some(*mode),
+            Entry::Queued(..) => None,
+        }
+    }
+
+    /// Number of locks held via the grant-word fast path.
+    pub fn fast_locks_held(&self) -> usize {
+        self.requests
+            .iter()
+            .filter(|e| matches!(e, Entry::Fast(..)))
+            .count()
     }
 
     /// Record a newly granted (or reclaimed) request.
     pub(crate) fn insert_owned(&mut self, req: Arc<LockRequest>, head: Arc<LockHead>) {
+        self.cache.insert(
+            req.lock_id(),
+            Entry::Queued(Arc::clone(&req), Arc::clone(&head)),
+        );
+        self.requests.push(Entry::Queued(req, head));
+    }
+
+    /// Record a grant-word fast-path hold.
+    pub(crate) fn insert_fast(&mut self, mode: LockMode, head: Arc<LockHead>) {
         self.cache
-            .insert(req.lock_id(), (Arc::clone(&req), Arc::clone(&head)));
-        self.requests.push((req, head));
+            .insert(head.id(), Entry::Fast(mode, Arc::clone(&head)));
+        self.requests.push(Entry::Fast(mode, head));
     }
 
     /// Reset for a new transaction, keeping allocations.
@@ -126,7 +193,7 @@ mod tests {
         let head = LockHead::new(id);
         // Request owned by txn 3, e.g. a stale inherited entry.
         let req = Arc::new(LockRequest::new_granted(id, 0, 3, LockMode::IS));
-        ts.cache.insert(id, (req, head));
+        ts.cache.insert(id, Entry::Queued(req, head));
         assert_eq!(ts.held_mode(id), None);
     }
 

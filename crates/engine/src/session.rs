@@ -635,7 +635,10 @@ mod tests {
 
     #[test]
     fn sessions_inherit_locks_across_transactions() {
-        let db = db();
+        // Inheritance needs queued acquisitions: grant-word fast path off.
+        let mut cfg = DatabaseConfig::with_sli().in_memory();
+        cfg.lock.fastpath = sli_core::FastPathConfig::disabled();
+        let db = Database::open(cfg);
         let t = db.create_table("t").unwrap();
         for k in 0..100u64 {
             db.bulk_insert(t, k, None, b"v");

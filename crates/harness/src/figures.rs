@@ -746,6 +746,100 @@ pub fn policy_matrix(scale: &ExperimentScale) -> Vec<PolicyMatrixRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Grant word (latch-free compatible acquisitions on TPC-B)
+// ---------------------------------------------------------------------------
+
+/// One cell of the grant-word experiment: one policy at one agent count.
+#[derive(Clone, Debug)]
+pub struct GrantWordRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Agent threads.
+    pub agents: usize,
+    /// Attempts per second.
+    pub throughput: f64,
+    /// Fresh acquires granted by the grant-word CAS.
+    pub fast_granted: u64,
+    /// Fast-eligible acquires that fell back to the latched path.
+    pub fast_fallbacks: u64,
+    /// Every-Nth heat-sampling fall-throughs.
+    pub fast_sampled: u64,
+    /// SLI reclaims (the other latch-bypassing acquisition).
+    pub reclaimed: u64,
+    /// Page-or-higher intention acquisitions observed.
+    pub ancestor_acquires: u64,
+    /// ...of which bypassed the head latch (grant-word or reclaim CAS).
+    pub ancestor_bypassed: u64,
+    /// `ancestor_bypassed / ancestor_acquires`.
+    pub bypass_rate: f64,
+    /// Database/table head probes served from the agent memo.
+    pub headcache_hits: u64,
+}
+
+/// The grant-word experiment: Baseline and PaperSli on TPC-B across the
+/// agent ladder, reporting the fast-path counters and the fraction of
+/// ancestor intention acquisitions that bypass the head latch. Steady
+/// state should put that fraction above 90% for both policies — for the
+/// baseline via the grant-word CAS alone, for paper-sli via grant word +
+/// reclaim (once heads go hot, SLI's inherited entries divert fresh
+/// traffic to the latched path and reclaims take over the bypass).
+pub fn grant_word(scale: &ExperimentScale) -> Vec<GrantWordRow> {
+    use sli_engine::PolicyKind;
+    println!("\n== Grant word: latch-free compatible acquisitions (TPC-B) ==");
+    println!(
+        "{:>10} {:>7} {:>12} {:>10} {:>9} {:>8} {:>10} {:>10} {:>8} {:>9}",
+        "policy",
+        "agents",
+        "attempts/s",
+        "fast",
+        "fallback",
+        "sampled",
+        "reclaimed",
+        "ancestors",
+        "bypass%",
+        "memo-hit"
+    );
+    let mut rows = Vec::new();
+    for kind in [PolicyKind::Baseline, PolicyKind::PaperSli] {
+        let db = Database::open(crate::setup::db_config_for(kind));
+        let tpcb = TpcB::load(&db, scale.tpcb_branches, scale.tpcb_accounts);
+        let mix = tpcb.workload();
+        for agents in scale.short_ladder() {
+            let r = run_workload(&db, &mix, &run_cfg(scale, agents));
+            let d = &r.lock_delta;
+            let row = GrantWordRow {
+                policy: kind.name(),
+                agents,
+                throughput: r.attempts_per_sec,
+                fast_granted: d.fastpath_granted,
+                fast_fallbacks: d.fastpath_fallbacks,
+                fast_sampled: d.fastpath_sampled,
+                reclaimed: d.sli_reclaimed,
+                ancestor_acquires: d.ancestor_acquires,
+                ancestor_bypassed: d.ancestor_bypassed,
+                bypass_rate: d.ancestor_bypass_rate(),
+                headcache_hits: d.headcache_hits,
+            };
+            println!(
+                "{:>10} {:>7} {:>12.0} {:>10} {:>9} {:>8} {:>10} {:>10} {:>8.1} {:>9}",
+                row.policy,
+                row.agents,
+                row.throughput,
+                row.fast_granted,
+                row.fast_fallbacks,
+                row.fast_sampled,
+                row.reclaimed,
+                row.ancestor_acquires,
+                row.bypass_rate * 100.0,
+                row.headcache_hits
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Latch scaling (oversubscription: agents past core count)
 // ---------------------------------------------------------------------------
 
@@ -904,6 +998,52 @@ mod tests {
             rate("aggressive") >= rate("paper-sli"),
             "aggressive inherited less per commit than paper-sli"
         );
+    }
+
+    #[test]
+    fn grant_word_runs_at_smoke_scale() {
+        let scale = ExperimentScale::smoke();
+        let rows = grant_word(&scale);
+        let ladder = scale.short_ladder().len();
+        assert_eq!(rows.len(), 2 * ladder, "two policies x agent ladder");
+        for r in &rows {
+            assert!(r.throughput > 0.0, "{r:?}");
+            assert!(r.ancestor_acquires > 0, "{r:?}");
+        }
+        // The acceptance bar: in steady state, >90% of ancestor intention
+        // acquisitions bypass the head latch. The first ladder step is
+        // cold-ish even after warmup, so assert on the final
+        // (highest-agent, warmest) step per policy — and also on the
+        // pooled whole-run rate, which must clear the bar comfortably.
+        for policy in ["baseline", "paper-sli"] {
+            let last = rows
+                .iter()
+                .rev()
+                .find(|r| r.policy == policy)
+                .expect("policy rows");
+            assert!(
+                last.bypass_rate > 0.9,
+                "{policy}: steady-state ancestor bypass {:.3} <= 0.9 ({last:?})",
+                last.bypass_rate
+            );
+            let (byp, tot) = rows
+                .iter()
+                .filter(|r| r.policy == policy)
+                .fold((0u64, 0u64), |(b, t), r| {
+                    (b + r.ancestor_bypassed, t + r.ancestor_acquires)
+                });
+            assert!(
+                byp as f64 / tot.max(1) as f64 > 0.9,
+                "{policy}: pooled ancestor bypass {byp}/{tot} <= 0.9"
+            );
+        }
+        // The baseline bypass must come from the grant word itself.
+        let base_fast: u64 = rows
+            .iter()
+            .filter(|r| r.policy == "baseline")
+            .map(|r| r.fast_granted)
+            .sum();
+        assert!(base_fast > 0, "baseline must use the grant word");
     }
 
     #[test]

@@ -29,6 +29,7 @@ experiments:
   roving-hotspot     Section 4.4 roving hotspot
   policy-matrix      LockPolicy ablation: all five policies x agent counts
   latch-scaling      oversubscription sweep: agents at 1x-8x cores, parking counters
+  grant-word         latch-free compatible acquisitions: fast-path counters on TPC-B
   all                everything above, in order
 
 environment: SLI_MEASURE_MS (400) SLI_WARMUP_MS (200) SLI_MAX_AGENTS (nproc)
@@ -76,6 +77,9 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
         "latch-scaling" => {
             figures::latch_scaling(scale);
         }
+        "grant-word" => {
+            figures::grant_word(scale);
+        }
         "all" => {
             for exp in [
                 "fig1",
@@ -91,6 +95,7 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
                 "roving-hotspot",
                 "policy-matrix",
                 "latch-scaling",
+                "grant-word",
             ] {
                 run_one(exp, scale);
             }

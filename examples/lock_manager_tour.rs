@@ -9,7 +9,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sli::core::{
-    LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId, TxnLockState,
+    FastPathConfig, LockId, LockManager, LockManagerConfig, LockMode, PolicyKind, TableId,
+    TxnLockState,
 };
 
 fn main() {
@@ -37,7 +38,12 @@ fn main() {
     println!("  sup(S, IX) = {}", LockMode::S.supremum(LockMode::IX));
 
     println!("\n== 2. automatic intention locks ==");
-    let m = LockManager::new(LockManagerConfig::with_policy(PolicyKind::PaperSli));
+    // Grant-word fast path off for this tour: sections 3-4 narrate the SLI
+    // hand-off, which needs every acquisition to be a queued (inheritable)
+    // request. Section 6 tours the fast path itself.
+    let mut cfg = LockManagerConfig::with_policy(PolicyKind::PaperSli);
+    cfg.fastpath = FastPathConfig::disabled();
+    let m = LockManager::new(cfg);
     let mut agent = m.register_agent().unwrap();
     let mut ts = TxnLockState::new(agent.slot());
     m.begin(&mut ts, &mut agent);
@@ -138,4 +144,41 @@ fn main() {
     println!("  txn2: {r2:?}");
     println!("  exactly one victim: {}", (r1.is_err() ^ r2.is_err()));
     m.retire_agent(&mut agent);
+
+    println!("\n== 6. the grant word: latch-free compatible acquisitions ==");
+    // Default config: group-compatible fresh acquires (IS/IX on ancestors,
+    // S on records) are granted by one CAS on the head's packed word — no
+    // latch, no LockRequest, no queue entry.
+    let fm = LockManager::new(LockManagerConfig::with_policy(PolicyKind::Baseline));
+    let mut fa = fm.register_agent().unwrap();
+    let mut fts = TxnLockState::new(fa.slot());
+    fm.begin(&mut fts, &mut fa);
+    fm.lock(
+        &mut fts,
+        &mut fa,
+        LockId::Record(TableId(1), 0, 0),
+        LockMode::S,
+    )
+    .unwrap();
+    let table_head = fm.head(LockId::Table(TableId(1))).unwrap();
+    println!(
+        "  4-level hierarchy held, {} of {} via the grant word",
+        fts.fast_locks_held(),
+        fts.locks_held()
+    );
+    println!(
+        "  table head word: {:?}",
+        table_head.grant_word().snapshot()
+    );
+    println!(
+        "  queue entries on the table head: {} (empty: the word carries the count)",
+        table_head.latch_untracked().reqs.len()
+    );
+    fm.end_txn(&mut fts, &mut fa, true);
+    let snap = fm.stats().snapshot();
+    println!(
+        "  stats: {} fast grants, {} fallbacks, {} allocations",
+        snap.fastpath_granted, snap.fastpath_fallbacks, snap.requests_allocated
+    );
+    fm.retire_agent(&mut fa);
 }

@@ -1,0 +1,303 @@
+//! Grant-word invariants under interleaved fast-path, latched, and SLI
+//! traffic.
+//!
+//! The property test drives one lock hierarchy through random interleavings
+//! of fast-path acquisitions (group-compatible modes), conflicting X
+//! requests, in-place conversions, and SLI inheritance/invalidation, with a
+//! small sampling period so both the grant-word and latched paths fire
+//! constantly. At every quiescent point (no latch held, no thread mid-call)
+//! the packed word must agree with the latched queue: flag bits vs the
+//! granted-mode summary, the inherited counter vs the queue's `Inherited`
+//! entries, and the fast counters vs the transactions' recorded fast holds.
+//!
+//! The threaded test is the no-starved-writer regression: a queued X
+//! request must be granted promptly even while readers hammer the same head
+//! through the fast path, because the writer's WAIT barrier diverts all new
+//! readers to the FIFO queue behind it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sli::core::{
+    FastPathConfig, LockHead, LockId, LockManager, LockManagerConfig, LockMode, PolicyKind,
+    RequestStatus, TableId, TxnLockState,
+};
+
+/// The fixed id universe the property test plays in.
+fn universe() -> Vec<LockId> {
+    let mut ids = vec![LockId::Database, LockId::Table(TableId(1))];
+    for p in 0..2u32 {
+        ids.push(LockId::Page(TableId(1), p));
+        for s in 0..3u16 {
+            ids.push(LockId::Record(TableId(1), p, s));
+        }
+    }
+    ids
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Agent 1 acquires the i-th universe id in the given mode (possibly
+    /// an upgrade/conversion of an existing hold).
+    Acquire(usize, LockMode),
+    /// Agent 1 commits (true) or aborts (false) its open transaction.
+    End(bool),
+    /// Heat the i-th universe id so commits inherit it.
+    Heat(usize),
+    /// Close agent 1's transaction, then agent 2 takes a conflicting X on
+    /// the i-th id (invalidating any inherited entries in its way) and
+    /// commits. Never blocks: nothing else is held at that point.
+    IntruderX(usize),
+}
+
+fn arb_op(n_ids: usize) -> impl Strategy<Value = Op> {
+    let modes = vec![LockMode::IS, LockMode::IX, LockMode::S, LockMode::X];
+    prop_oneof![
+        (0..n_ids, prop::sample::select(modes)).prop_map(|(i, m)| Op::Acquire(i, m)),
+        prop::bool::ANY.prop_map(Op::End),
+        (0..n_ids).prop_map(Op::Heat),
+        (0..n_ids).prop_map(Op::IntruderX),
+    ]
+}
+
+/// Assert the grant word agrees with the latched queue for `head`.
+/// `expected_fast` is the per-mode `[IS, IX, S]` count of fast holds the
+/// test knows to be open on this head. (The vendored `prop_assert!` is a
+/// plain assert, so this panics on violation.)
+fn check_head(head: &Arc<LockHead>, expected_fast: [u32; 3]) {
+    let snap = head.grant_word().snapshot();
+    let q = head.latch_untracked();
+    // Recount the queue from scratch.
+    let mut counts = [0u32; 6];
+    let mut inherited = 0u32;
+    let mut waiters = 0u32;
+    for r in q.reqs.iter() {
+        match r.status() {
+            RequestStatus::Granted => counts[r.mode() as usize] += 1,
+            RequestStatus::Inherited => {
+                counts[r.mode() as usize] += 1;
+                inherited += 1;
+            }
+            RequestStatus::Converting => {
+                counts[r.mode() as usize] += 1;
+                waiters += 1;
+            }
+            RequestStatus::Waiting => waiters += 1,
+            RequestStatus::Invalid | RequestStatus::Released => {}
+        }
+    }
+    let id = head.id();
+    prop_assert_eq!(
+        snap.queue_ix,
+        counts[LockMode::IX as usize] > 0,
+        "Q_IX flag vs queue recount on {:?}: {:?}",
+        id,
+        snap
+    );
+    prop_assert_eq!(
+        snap.queue_s,
+        counts[LockMode::S as usize] > 0,
+        "Q_S flag vs queue recount on {:?}: {:?}",
+        id,
+        snap
+    );
+    prop_assert_eq!(
+        snap.excl,
+        counts[LockMode::SIX as usize] + counts[LockMode::X as usize] > 0,
+        "EXCL flag vs queue recount on {:?}: {:?}",
+        id,
+        snap
+    );
+    prop_assert_eq!(
+        snap.wait,
+        waiters > 0,
+        "WAIT flag vs queue waiters on {:?}: {:?}",
+        id,
+        snap
+    );
+    prop_assert_eq!(
+        snap.inherited,
+        inherited,
+        "inherited counter vs queue recount on {:?}: {:?}",
+        id,
+        snap
+    );
+    prop_assert_eq!(
+        snap.fast,
+        expected_fast,
+        "fast counters vs known fast holds on {:?}: {:?}",
+        id,
+        snap
+    );
+    prop_assert!(!snap.zombie, "live head must not be zombie: {:?}", id);
+    // And the word-vs-summary cross-check the issue asks for: holders()
+    // and granted_mode() describe the queue side only; the word's flags
+    // must match exactly what they report.
+    prop_assert_eq!(q.holders(), counts.iter().sum::<u32>());
+    let qm = q.granted_mode();
+    prop_assert_eq!(
+        snap.excl,
+        qm == LockMode::SIX || qm == LockMode::X,
+        "granted_mode {:?} vs EXCL on {:?}",
+        qm,
+        id
+    );
+}
+
+fn mk_manager() -> Arc<LockManager> {
+    let mut cfg = LockManagerConfig::with_policy(PolicyKind::PaperSli);
+    cfg.lock_timeout = Duration::from_secs(5);
+    cfg.deadlock_poll = Duration::from_micros(200);
+    // Small sampling period: both paths fire constantly.
+    cfg.fastpath = FastPathConfig {
+        enabled: true,
+        retry_budget: 8,
+        sample_every: 3,
+    };
+    LockManager::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn grant_word_agrees_with_queue_at_every_quiescent_point(
+        ops in prop::collection::vec(arb_op(universe().len()), 1..48),
+    ) {
+        let ids = universe();
+        let m = mk_manager();
+        let mut a1 = m.register_agent().unwrap();
+        let mut t1 = TxnLockState::new(a1.slot());
+        let mut a2 = m.register_agent().unwrap();
+        let mut t2 = TxnLockState::new(a2.slot());
+        let mut open = false;
+
+        for op in &ops {
+            match op {
+                Op::Acquire(i, mode) => {
+                    if !open {
+                        m.begin(&mut t1, &mut a1);
+                        open = true;
+                    }
+                    // Single live transaction + invalidatable inherited
+                    // entries: acquisition can never block.
+                    m.lock(&mut t1, &mut a1, ids[*i], *mode).unwrap();
+                }
+                Op::End(commit) => {
+                    if open {
+                        m.end_txn(&mut t1, &mut a1, *commit);
+                        open = false;
+                    }
+                }
+                Op::Heat(i) => {
+                    if let Some(h) = m.head(ids[*i]) {
+                        for _ in 0..16 {
+                            h.hot().record(true);
+                        }
+                    }
+                }
+                Op::IntruderX(i) => {
+                    if open {
+                        m.end_txn(&mut t1, &mut a1, true);
+                        open = false;
+                    }
+                    m.begin(&mut t2, &mut a2);
+                    m.lock(&mut t2, &mut a2, ids[*i], LockMode::X).unwrap();
+                    m.end_txn(&mut t2, &mut a2, true);
+                }
+            }
+            // Quiescent point: no call in flight. Every live head's word
+            // must agree with its queue.
+            for id in &ids {
+                if let Some(head) = m.head(*id) {
+                    let idx = |mode: LockMode| mode.fast_group_index().unwrap();
+                    let mut fast = [0u32; 3];
+                    if open {
+                        if let Some(fm) = t1.holds_fast(*id) {
+                            fast[idx(fm)] += 1;
+                        }
+                    }
+                    check_head(&head, fast);
+                }
+            }
+        }
+        if open {
+            m.end_txn(&mut t1, &mut a1, true);
+        }
+        m.retire_agent(&mut a1);
+        m.retire_agent(&mut a2);
+        prop_assert_eq!(m.live_lock_heads(), 0, "lock heads leaked");
+    }
+}
+
+/// The no-starved-writer regression: a table-level X request queued behind
+/// fast-path readers must be granted while the readers keep churning —
+/// its WAIT barrier stops new fast grants, and each fast release with the
+/// flag up re-runs the grant pass.
+#[test]
+fn writer_is_not_starved_by_fast_path_readers() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let mut cfg = LockManagerConfig::with_policy(PolicyKind::Baseline);
+    cfg.lock_timeout = Duration::from_secs(10);
+    cfg.fastpath.sample_every = 0; // pure fast path for readers
+    let m = LockManager::new(cfg);
+    let table = LockId::Table(TableId(7));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_txns = Arc::new(AtomicU64::new(0));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let m = Arc::clone(&m);
+        let stop = Arc::clone(&stop);
+        let reader_txns = Arc::clone(&reader_txns);
+        readers.push(std::thread::spawn(move || {
+            let mut agent = m.register_agent().unwrap();
+            let mut ts = TxnLockState::new(agent.slot());
+            while !stop.load(Ordering::Relaxed) {
+                m.begin(&mut ts, &mut agent);
+                m.lock(&mut ts, &mut agent, table, LockMode::S).unwrap();
+                m.end_txn(&mut ts, &mut agent, true);
+                reader_txns.fetch_add(1, Ordering::Relaxed);
+            }
+            m.retire_agent(&mut agent);
+        }));
+    }
+    // Let the reader storm reach a steady state.
+    while reader_txns.load(Ordering::Relaxed) < 1_000 {
+        std::thread::yield_now();
+    }
+    let mut agent = m.register_agent().unwrap();
+    let mut ts = TxnLockState::new(agent.slot());
+    m.begin(&mut ts, &mut agent);
+    let t0 = std::time::Instant::now();
+    m.lock(&mut ts, &mut agent, table, LockMode::X)
+        .expect("writer must be granted");
+    let waited = t0.elapsed();
+    m.end_txn(&mut ts, &mut agent, true);
+    m.retire_agent(&mut agent);
+    assert!(
+        waited < Duration::from_secs(2),
+        "writer starved for {waited:?} behind fast-path readers"
+    );
+    // Readers must resume fast-path service after the writer departs.
+    let before = reader_txns.load(Ordering::Relaxed);
+    let resume_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while reader_txns.load(Ordering::Relaxed) < before + 100 {
+        assert!(
+            std::time::Instant::now() < resume_deadline,
+            "readers did not resume after the writer"
+        );
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    let snap = m.stats().snapshot();
+    assert!(snap.fastpath_granted > 0, "readers used the fast path");
+    // (Whether any release observed WAIT is timing-dependent — the writer
+    // may land in an instant with zero live fast holders. The
+    // deterministic wake-by-release path is asserted in sli-core's
+    // `conflicting_x_waits_behind_fast_holder_and_is_woken_by_release`.)
+}

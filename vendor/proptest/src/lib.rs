@@ -6,12 +6,17 @@
 //! combinators (`prop_map`, `prop_oneof!`, `Just`, ranges, collections,
 //! tuples, `any::<T>()`), and `prop_assert*` macros.
 //!
-//! Differences from real proptest: failing inputs are *not* shrunk (the
-//! failing case's seed and debug rendering are reported instead), and
-//! strategies are simple random generators rather than value trees. Case
-//! counts honour `ProptestConfig::with_cases` and can be globally capped
-//! with the `PROPTEST_CASES` environment variable (the repo's CI sets a
-//! small value to keep property suites fast; see README).
+//! Differences from real proptest: strategies are simple random generators
+//! rather than value trees, and shrinking is a lightweight greedy pass
+//! instead of tree traversal — integer strategies halve toward the range
+//! start, `collection::vec` truncates (half, then minus-one) and recurses
+//! into elements, `Just`/`prop_map`/`prop_oneof` don't shrink. On failure
+//! the macro re-runs shrink candidates (panic hook silenced) up to a
+//! budget (`PROPTEST_SHRINK_BUDGET`, default 512) and reports the smallest
+//! still-failing input before resuming the original panic. Case counts
+//! honour `ProptestConfig::with_cases` and can be globally capped with the
+//! `PROPTEST_CASES` environment variable (the repo's CI sets a small value
+//! to keep property suites fast; see README).
 
 use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng as _};
@@ -26,6 +31,14 @@ pub trait Strategy {
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly "smaller" variants of a failing value, most
+    /// aggressive first. The default (no candidates) disables shrinking
+    /// for this strategy; integer ranges and `collection::vec` override
+    /// it. Candidates must stay within the strategy's domain.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Map generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -55,6 +68,9 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
     }
 }
 
@@ -88,6 +104,14 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter rejected 1000 consecutive candidates");
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Forward the inner candidates, keeping only in-domain ones.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|c| (self.f)(c))
+            .collect()
+    }
 }
 
 /// Strategy producing a single constant value.
@@ -101,6 +125,30 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Halving shrink for an integer toward the range's low end: the low end
+/// itself, the midpoint, then value-minus-one — aggressive first.
+macro_rules! int_shrink_toward {
+    ($lo:expr, $v:expr) => {{
+        let lo = $lo;
+        let v = *$v;
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            if let Some(d) = v.checked_sub(lo) {
+                let mid = lo.wrapping_add(d / 2);
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+            }
+            let dec = v.wrapping_sub(1);
+            if dec != lo && !out.contains(&dec) {
+                out.push(dec);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -108,11 +156,17 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(self.start, value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*self.start(), value)
             }
         }
     )*};
@@ -121,10 +175,27 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident => $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        // The `Clone` bounds exist for `shrink` (component-wise: each
+        // candidate replaces one component, cloning the rest); every value
+        // type used in this workspace's properties is `Clone`.
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     };
@@ -157,6 +228,19 @@ macro_rules! impl_arbitrary_via_gen {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen()
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Halve toward zero (works for signed and unsigned).
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let mid = v / 2;
+                    if mid != 0 && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         }
         impl Arbitrary for $t {
             type Strategy = FullDomain<$t>;
@@ -166,7 +250,30 @@ macro_rules! impl_arbitrary_via_gen {
         }
     )*};
 }
-impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullDomain<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullDomain<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FullDomain {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
 
 /// The canonical strategy for `T`: the full domain for integers and `bool`.
 pub fn any<T: Arbitrary>() -> T::Strategy {
@@ -208,6 +315,81 @@ pub fn effective_cases(config: &ProptestConfig) -> u32 {
     }
 }
 
+/// Total shrink candidates tried per failing case: `PROPTEST_SHRINK_BUDGET`
+/// (default 512); 0 disables shrinking.
+pub fn shrink_budget() -> usize {
+    std::env::var("PROPTEST_SHRINK_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(512)
+}
+
+/// Greedily minimize a failing input: adopt the first shrink candidate
+/// that still fails and restart from it, until no candidate fails or the
+/// budget runs out. Returns the smallest still-failing value and the
+/// number of candidates tried. `fails` must run the property with panics
+/// caught (the `proptest!` macro silences the panic hook around the whole
+/// loop so candidate re-runs don't spam stderr).
+pub fn minimize<S: Strategy>(
+    strat: &S,
+    failing: S::Value,
+    budget: usize,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> (S::Value, usize) {
+    let mut best = failing;
+    let mut tried = 0usize;
+    'outer: while tried < budget {
+        for cand in strat.shrink(&best) {
+            if tried >= budget {
+                break 'outer;
+            }
+            tried += 1;
+            if fails(&cand) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, tried)
+}
+
+/// Identity coercion giving a case-runner closure the expected parameter
+/// type `S::Value` (so the `proptest!` macro's body type-checks against
+/// the strategy tuple's structural value type before any call site).
+pub fn runner_for<S: Strategy, R, F: Fn(S::Value) -> R>(_strat: &S, f: F) -> F {
+    f
+}
+
+/// The standard library's boxed panic-hook type.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// RAII panic-hook silencer for the shrink loop (candidate re-runs panic
+/// on purpose; their backtraces are noise). Process-global: a concurrent
+/// failing test in another thread is muted too for the duration, which is
+/// acceptable for a diagnostics pass that only runs on failure.
+pub struct QuietPanics {
+    prev: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    /// Install a no-op panic hook, remembering the previous one.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
 /// Per-case RNG: deterministic by default (case index seeds the stream) so
 /// failures are reproducible; set `PROPTEST_RNG=entropy` to randomise.
 pub fn case_rng(case: u32) -> TestRng {
@@ -234,11 +416,39 @@ pub mod prop {
             len: std::ops::Range<usize>,
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let n = rng.gen_range(self.len.clone());
                 (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+            fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                let min = self.len.start;
+                let n = value.len();
+                let mut out: Vec<Vec<S::Value>> = Vec::new();
+                // Truncation passes, aggressive first: half, then one less.
+                if n > min {
+                    let half = (n / 2).max(min);
+                    if half < n {
+                        out.push(value[..half].to_vec());
+                    }
+                    if n - 1 > half {
+                        out.push(value[..n - 1].to_vec());
+                    }
+                }
+                // Element-wise shrink (bounded so candidate lists stay
+                // small on long vectors).
+                for i in 0..n.min(16) {
+                    for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                        let mut v = value.clone();
+                        v[i] = cand;
+                        out.push(v);
+                    }
+                }
+                out
             }
         }
 
@@ -286,6 +496,13 @@ pub mod prop {
             type Value = bool;
             fn generate(&self, rng: &mut TestRng) -> bool {
                 rng.gen()
+            }
+            fn shrink(&self, value: &bool) -> Vec<bool> {
+                if *value {
+                    vec![false]
+                } else {
+                    Vec::new()
+                }
             }
         }
 
@@ -369,20 +586,65 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             let cases = $crate::effective_cases(&config);
+            // The strategies as one tuple strategy, so failing inputs can
+            // be shrunk component-wise. Requires `Clone` value types.
+            let strat = ($(($strat),)+);
             for case in 0..cases {
                 let mut rng = $crate::case_rng(case);
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                // Render inputs up front: the body may consume them by move.
-                let inputs = format!(
-                    concat!($("\n  ", stringify!($arg), " = {:?}"),+),
-                    $(&$arg),+
-                );
-                let run = || {
+                let initial = $crate::Strategy::generate(&strat, &mut rng);
+                // Takes the tuple by value (callers clone): a by-reference
+                // closure would be monomorphic in the reference lifetime
+                // and could not be re-invoked on shrink candidates.
+                // `runner_for` pins the parameter to the strategy tuple's
+                // value type so the body type-checks immediately.
+                let run_tuple = $crate::runner_for(&strat, |vals| {
+                    let ($($arg,)+) = vals;
                     $body
-                };
-                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
-                    eprintln!("proptest case {case}/{cases} failed with inputs:{inputs}");
-                    std::panic::resume_unwind(panic);
+                });
+                let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || run_tuple(::core::clone::Clone::clone(&initial)),
+                ))
+                .is_err();
+                if failed {
+                    // Minimize with the panic hook silenced (candidate
+                    // re-runs panic by design), then report the smallest
+                    // still-failing input and resume its panic.
+                    let (minimal, tried) = {
+                        let _quiet = $crate::QuietPanics::new();
+                        $crate::minimize(
+                            &strat,
+                            ::core::clone::Clone::clone(&initial),
+                            $crate::shrink_budget(),
+                            |cand| {
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                    || run_tuple(::core::clone::Clone::clone(cand)),
+                                ))
+                                .is_err()
+                            },
+                        )
+                    };
+                    {
+                        let ($($arg,)+) = &minimal;
+                        eprintln!(
+                            concat!(
+                                "proptest case {}/{} failed; minimal failing input \
+                                 after {} shrink attempts:",
+                                $("\n  ", stringify!($arg), " = {:?}"),+
+                            ),
+                            case, cases, tried, $(&$arg),+
+                        );
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || run_tuple(::core::clone::Clone::clone(&minimal)),
+                    )) {
+                        Err(panic) => std::panic::resume_unwind(panic),
+                        // A flaky (nondeterministic) body can stop failing
+                        // on the re-run; fail the test all the same.
+                        Ok(_) => panic!(
+                            "proptest case {case} failed but its minimized \
+                             input no longer reproduces (flaky property?)"
+                        ),
+                    }
                 }
             }
         }
@@ -436,6 +698,49 @@ mod tests {
         #[test]
         fn select_draws_from_set(m in prop::sample::select(vec![2u8, 4, 8])) {
             prop_assert!([2u8, 4, 8].contains(&m));
+        }
+    }
+
+    #[test]
+    fn shrinking_minimizes_integers_and_vectors() {
+        // Pretend property: fails whenever x >= 50 (the vec is irrelevant,
+        // so it must shrink away entirely).
+        let strat = (3..100u32, crate::prop::collection::vec(0..100u32, 0..20));
+        let failing = (97u32, vec![3u32, 80, 2, 9, 61]);
+        let (min, tried) = crate::minimize(&strat, failing, 512, |(x, _)| *x >= 50);
+        assert_eq!(min.0, 50, "integer halving must land on the boundary");
+        assert!(min.1.is_empty(), "irrelevant vec must truncate away");
+        assert!(tried > 0 && tried <= 512);
+    }
+
+    #[test]
+    fn shrink_candidates_stay_in_domain() {
+        let r = 5..40u32;
+        for v in [6u32, 23, 39] {
+            for c in crate::Strategy::shrink(&r, &v) {
+                assert!(r.contains(&c), "candidate {c} outside {r:?}");
+                assert!(c < v, "candidate {c} not smaller than {v}");
+            }
+        }
+        assert!(
+            crate::Strategy::shrink(&r, &5).is_empty(),
+            "min is terminal"
+        );
+        let ri = 2..=9i64;
+        for c in crate::Strategy::shrink(&ri, &9) {
+            assert!(ri.contains(&c));
+        }
+        let vs = crate::prop::collection::vec(0..10u8, 2..8);
+        let v = vec![9u8, 1, 7, 3, 2];
+        for c in crate::Strategy::shrink(&vs, &v) {
+            assert!(c.len() >= 2, "truncation respects the min length");
+        }
+    }
+
+    #[test]
+    fn shrink_budget_defaults_and_parses() {
+        if std::env::var("PROPTEST_SHRINK_BUDGET").is_err() {
+            assert_eq!(crate::shrink_budget(), 512);
         }
     }
 
