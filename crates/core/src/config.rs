@@ -4,7 +4,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::id::LockLevel;
-use crate::policy::{LockPolicy, PaperSli, PolicyKind};
+use crate::policy::{LockPolicy, PolicyKind};
+use crate::scope::PolicyMap;
 
 /// Tuning knobs for Speculative Lock Inheritance.
 ///
@@ -129,11 +130,13 @@ pub enum DeadlockPolicy {
 
 /// Configuration for the lock manager.
 ///
-/// The inheritance strategy is a [`LockPolicy`] trait object; construct a
-/// config with [`LockManagerConfig::with_policy`] and refine it with the
-/// builder methods. (The pre-policy `baseline()`/`with_sli()` constructors
-/// were removed — use `with_policy(PolicyKind::Baseline)` and
-/// `with_policy(PolicyKind::PaperSli)` respectively.)
+/// The inheritance strategy is a scoped [`PolicyMap`]: a default
+/// [`LockPolicy`] plus optional per-table and per-level overrides,
+/// resolved once per lock head at creation. Construct a config with
+/// [`LockManagerConfig::with_policy`] (a uniform map — the pre-map global
+/// behaviour) and refine it with the builder methods
+/// ([`LockManagerConfig::table_policy`], [`LockManagerConfig::level_policy`],
+/// ...).
 #[derive(Clone, Debug)]
 pub struct LockManagerConfig {
     /// Number of hash buckets in the lock table (rounded up to a power of
@@ -148,10 +151,11 @@ pub struct LockManagerConfig {
     pub lock_timeout: Duration,
     /// How often a blocked thread wakes to run deadlock checks.
     pub deadlock_poll: Duration,
-    /// SLI tuning knobs, consulted by the active policy.
+    /// SLI tuning knobs, consulted by the active policies.
     pub sli: SliConfig,
-    /// The inheritance policy owning the three SLI decision points.
-    pub policy: Arc<dyn LockPolicy>,
+    /// The scoped policy map owning the SLI decision points (default scope
+    /// plus per-table / per-level overrides).
+    pub policies: PolicyMap,
     /// Capacity of each agent's [`LockRequest`] free pool (0 disables
     /// pooling). A warm pool makes the steady-state uncontended acquire
     /// path allocation-free.
@@ -169,7 +173,7 @@ impl Default for LockManagerConfig {
             lock_timeout: Duration::from_secs(2),
             deadlock_poll: Duration::from_micros(500),
             sli: SliConfig::default(),
-            policy: Arc::new(PaperSli),
+            policies: PolicyMap::default(),
             request_pool_cap: crate::sli::DEFAULT_REQUEST_POOL_CAP,
             fastpath: FastPathConfig::default(),
         }
@@ -177,19 +181,48 @@ impl Default for LockManagerConfig {
 }
 
 impl LockManagerConfig {
-    /// Defaults with the given inheritance policy. Accepts either a
-    /// [`PolicyKind`] or a custom `Arc<dyn LockPolicy>`:
+    /// Defaults with the given default-scope inheritance policy (a uniform
+    /// map). Accepts either a [`PolicyKind`] or a custom
+    /// `Arc<dyn LockPolicy>`:
     ///
     /// ```
     /// use sli_core::{LockManagerConfig, PolicyKind};
     /// let cfg = LockManagerConfig::with_policy(PolicyKind::Baseline);
-    /// assert_eq!(cfg.policy.name(), "baseline");
+    /// assert_eq!(cfg.policies.default_policy().name(), "baseline");
     /// ```
     pub fn with_policy(policy: impl Into<Arc<dyn LockPolicy>>) -> Self {
         LockManagerConfig {
-            policy: policy.into(),
+            policies: PolicyMap::single(policy),
             ..LockManagerConfig::default()
         }
+    }
+
+    /// Builder: replace the default scope's policy.
+    pub fn default_policy(mut self, policy: impl Into<Arc<dyn LockPolicy>>) -> Self {
+        self.policies.set_default(policy);
+        self
+    }
+
+    /// Builder: add a per-table policy override for the table named
+    /// `table`. Effective once the name is bound to a
+    /// [`crate::TableId`] (the engine binds at table creation via
+    /// [`crate::LockManager::bind_table_policy`]).
+    pub fn table_policy(mut self, table: &str, policy: impl Into<Arc<dyn LockPolicy>>) -> Self {
+        self.policies.add_table_override(table, policy);
+        self
+    }
+
+    /// Builder: add a per-level policy override. Note the criterion-5
+    /// caveat on [`PolicyMap::add_level_override`]: an *inheriting*
+    /// override below `Table` level only fires where its table ancestry
+    /// also inherits.
+    pub fn level_policy(
+        mut self,
+        level: LockLevel,
+        policy: impl Into<Arc<dyn LockPolicy>>,
+    ) -> Self {
+        self.policies.add_level_override(level, policy);
+        self
     }
 
     /// Builder: replace the SLI tuning knobs.
@@ -210,10 +243,10 @@ impl LockManagerConfig {
         self
     }
 
-    /// The shipped [`PolicyKind`] matching the configured policy's name,
-    /// if it is one of the five built-ins.
+    /// The shipped [`PolicyKind`] matching the configured *default*
+    /// policy's name, if it is one of the built-ins.
     pub fn policy_kind(&self) -> Option<PolicyKind> {
-        PolicyKind::from_name(self.policy.name())
+        PolicyKind::from_name(self.policies.default_policy().name())
     }
 }
 
@@ -242,22 +275,34 @@ mod tests {
     #[test]
     fn default_policy_is_paper_sli() {
         let cfg = LockManagerConfig::default();
-        assert_eq!(cfg.policy.name(), "paper-sli");
+        assert_eq!(cfg.policies.default_policy().name(), "paper-sli");
         assert_eq!(cfg.policy_kind(), Some(PolicyKind::PaperSli));
+        assert!(cfg.policies.is_uniform());
         assert!(cfg.sli.enabled);
     }
 
     #[test]
     fn with_policy_accepts_kinds_and_objects() {
         let a = LockManagerConfig::with_policy(PolicyKind::Baseline);
-        assert!(!a.policy.inherits());
+        assert!(!a.policies.default_policy().inherits());
         let b = LockManagerConfig::with_policy(PolicyKind::EagerRelease.build())
             .lock_timeout(Duration::from_millis(10))
             .deadlock(DeadlockPolicy::TimeoutOnly)
             .sli(SliConfig::disabled());
-        assert!(b.policy.early_release_shared());
+        assert!(b.policies.default_policy().early_release_shared());
         assert_eq!(b.lock_timeout, Duration::from_millis(10));
         assert_eq!(b.deadlock, DeadlockPolicy::TimeoutOnly);
         assert!(!b.sli.enabled);
+    }
+
+    #[test]
+    fn scoped_builders_grow_the_map() {
+        let cfg = LockManagerConfig::with_policy(PolicyKind::Baseline)
+            .table_policy("hot", PolicyKind::AggressiveSli)
+            .level_policy(LockLevel::Record, PolicyKind::PaperSli);
+        // default + table:hot + the synthetic root scope + level:record.
+        assert_eq!(cfg.policies.num_scopes(), 4);
+        assert!(cfg.policies.any_inherits());
+        assert_eq!(cfg.policy_kind(), Some(PolicyKind::Baseline));
     }
 }

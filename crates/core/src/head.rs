@@ -23,6 +23,7 @@ use crate::id::LockId;
 use crate::mode::{LockMode, NUM_MODES};
 use crate::policy::AcquireSample;
 use crate::request::{LockRequest, RequestStatus};
+use crate::scope::HeadPolicy;
 use crate::stats::LockStats;
 use crate::word::GrantWord;
 
@@ -43,16 +44,21 @@ pub struct LockQueue {
     /// Every latched mutation re-publishes the queue-derived flag bits so
     /// the word and the queue summary always agree (see `crate::word`).
     word: Arc<GrantWord>,
+    /// The head's policy-scope id, mirrored here so queue-internal stat
+    /// bumps (inherited-blocker invalidation) attribute to the right
+    /// scope without reaching back to the head.
+    scope_id: u16,
 }
 
 impl LockQueue {
-    fn new(word: Arc<GrantWord>) -> Self {
+    fn new(word: Arc<GrantWord>, scope_id: u16) -> Self {
         LockQueue {
             reqs: Vec::with_capacity(4),
             granted_counts: [0; NUM_MODES],
             waiters: 0,
             zombie: false,
             word,
+            scope_id,
         }
     }
 
@@ -311,7 +317,7 @@ impl LockQueue {
         // Invalidate them all; if any reclaim wins the race, give up.
         for b in &inherited_blockers {
             if self.invalidate_inherited(b) {
-                stats.on_sli_invalidated();
+                stats.on_sli_invalidated(self.scope_id);
             } else {
                 // Owner reclaimed concurrently: it is now a Granted blocker.
                 return false;
@@ -406,7 +412,8 @@ impl LockQueue {
     }
 }
 
-/// One lock's identity, hot tracker, grant word, and latched queue.
+/// One lock's identity, hot tracker, grant word, cached policy
+/// resolution, and latched queue.
 pub struct LockHead {
     id: LockId,
     hot: HotTracker,
@@ -416,25 +423,51 @@ pub struct LockHead {
     /// The packed grant state fast-path acquirers CAS against; also
     /// referenced by `queue` so latched mutations keep it in sync.
     word: Arc<GrantWord>,
+    /// The head's policy resolution, cached at creation (see
+    /// `crate::PolicyMap::resolve`): the acquire/commit paths never
+    /// consult the map again.
+    policy: HeadPolicy,
     queue: Latched<LockQueue>,
 }
 
 impl LockHead {
-    /// Fresh lock head for `id`.
+    /// Fresh lock head for `id` in the default scope under the paper's
+    /// policy (tests and fixtures; the lock manager resolves real heads
+    /// through its `PolicyMap` via [`LockHead::new_scoped`]).
     pub fn new(id: LockId) -> Arc<Self> {
+        LockHead::new_scoped(id, HeadPolicy::default_paper())
+    }
+
+    /// Fresh lock head for `id` with an explicit policy resolution.
+    pub fn new_scoped(id: LockId, policy: HeadPolicy) -> Arc<Self> {
         let word = Arc::new(GrantWord::new());
+        let scope_id = policy.scope_id();
         Arc::new(LockHead {
             id,
             hot: HotTracker::new(),
             waiters_mirror: AtomicU32::new(0),
             word: Arc::clone(&word),
-            queue: Latched::new(Component::LockManager, LockQueue::new(word)),
+            policy,
+            queue: Latched::new(Component::LockManager, LockQueue::new(word, scope_id)),
         })
     }
 
     /// The lock this head represents.
     pub fn id(&self) -> LockId {
         self.id
+    }
+
+    /// The head's cached policy resolution (scope id, policy pointer,
+    /// adaptive promotion state).
+    #[inline]
+    pub fn policy(&self) -> &HeadPolicy {
+        &self.policy
+    }
+
+    /// The head's policy-scope id (stat attribution).
+    #[inline]
+    pub fn scope_id(&self) -> u16 {
+        self.policy.scope_id()
     }
 
     /// The head's grant word (latch-free fast path and diagnostics).

@@ -70,6 +70,17 @@ impl LockId {
         }
     }
 
+    /// The table this object belongs to (`None` for the database root).
+    /// Used by scoped policy resolution: a per-table policy override
+    /// governs the table's whole subtree.
+    #[inline]
+    pub fn table(self) -> Option<TableId> {
+        match self {
+            LockId::Database => None,
+            LockId::Table(t) | LockId::Page(t, _) | LockId::Record(t, _, _) => Some(t),
+        }
+    }
+
     /// The immediate parent in the hierarchy, or `None` for the root.
     #[inline]
     pub fn parent(self) -> Option<LockId> {

@@ -45,6 +45,7 @@ mod manager;
 mod mode;
 mod policy;
 mod request;
+mod scope;
 mod sli;
 mod stats;
 mod txn;
@@ -60,11 +61,12 @@ pub use id::{LockId, LockLevel, TableId};
 pub use manager::LockManager;
 pub use mode::{LockMode, ALL_MODES, NUM_MODES};
 pub use policy::{
-    AcquireSample, AggressiveSli, Baseline, EagerRelease, HeldLock, LatchOnlySli, LockPolicy,
-    PaperSli, PolicyKind,
+    AcquireSample, AdaptivePolicy, AggressiveSli, Baseline, EagerRelease, HeldLock, LatchOnlySli,
+    LockPolicy, PaperSli, PolicyKind,
 };
 pub use request::{LockRequest, RequestStatus};
+pub use scope::{HeadPolicy, PolicyMap, PolicyScope, MAX_POLICY_SCOPES};
 pub use sli::{is_inheritance_candidate, AgentSliState, DEFAULT_REQUEST_POOL_CAP};
-pub use stats::{LockClass, LockStats, LockStatsSnapshot};
+pub use stats::{LockClass, LockStats, LockStatsSnapshot, ScopeStatsSnapshot};
 pub use txn::TxnLockState;
 pub use word::{FastAcquire, GrantWord, GrantWordSnapshot, FAST_MODES};

@@ -22,6 +22,7 @@ use crate::id::{LockId, LockLevel};
 use crate::mode::LockMode;
 use crate::policy::{HeldLock, LockPolicy};
 use crate::request::{LockRequest, RequestStatus};
+use crate::scope::PolicyMap;
 use crate::sli::AgentSliState;
 use crate::stats::{LockClass, LockStats};
 use crate::txn::{Entry, TxnLockState};
@@ -30,9 +31,14 @@ use crate::word::FastAcquire;
 /// The centralized lock manager.
 pub struct LockManager {
     config: LockManagerConfig,
-    /// The active inheritance policy (cloned out of `config` so the hot
-    /// paths don't chase two pointers).
-    policy: Arc<dyn LockPolicy>,
+    /// The scoped policy map; shared with the lock table, which resolves
+    /// each head's scope once at head creation. This `Arc` is the map the
+    /// manager actually consults — `config.policies` is the construction-
+    /// time copy and does not see later table bindings.
+    policies: Arc<PolicyMap>,
+    /// The default scope's policy (cloned out so the common accessor and
+    /// Debug impl don't walk the map).
+    default_policy: Arc<dyn LockPolicy>,
     table: LockTable,
     digests: DigestTable,
     stats: LockStats,
@@ -45,29 +51,47 @@ pub struct LockManager {
 impl LockManager {
     /// Create a lock manager.
     pub fn new(config: LockManagerConfig) -> Arc<Self> {
-        let table = LockTable::new(config.buckets);
+        let policies = Arc::new(config.policies.clone());
+        let table = LockTable::new(config.buckets, Arc::clone(&policies));
         let digests = DigestTable::new(config.max_agents);
-        let policy = Arc::clone(&config.policy);
+        let default_policy = Arc::clone(policies.default_policy());
+        let stats = LockStats::with_scopes(policies.num_scopes());
         Arc::new(LockManager {
             config,
-            policy,
+            policies,
+            default_policy,
             table,
             digests,
-            stats: LockStats::new(),
+            stats,
             next_txn: AtomicU64::new(1),
             next_agent: AtomicU32::new(0),
             free_slots: parking_lot::Mutex::new(Vec::new()),
         })
     }
 
-    /// The active configuration.
+    /// The active configuration. Note: `config().policies` is the
+    /// construction-time copy; table bindings made after construction are
+    /// visible through [`LockManager::policies`] instead.
     pub fn config(&self) -> &LockManagerConfig {
         &self.config
     }
 
-    /// The active inheritance policy.
+    /// The default scope's inheritance policy.
     pub fn policy(&self) -> &Arc<dyn LockPolicy> {
-        &self.policy
+        &self.default_policy
+    }
+
+    /// The live scoped policy map (table bindings included).
+    pub fn policies(&self) -> &Arc<PolicyMap> {
+        &self.policies
+    }
+
+    /// Bind a named per-table policy override to the [`TableId`] the
+    /// catalog assigned. Must be called before any lock head for the table
+    /// exists (the engine binds at table creation). Returns whether a
+    /// binding occurred.
+    pub fn bind_table_policy(&self, name: &str, table: crate::TableId) -> bool {
+        self.policies.bind_table(name, table)
     }
 
     /// Global lock-manager counters.
@@ -146,7 +170,7 @@ impl LockManager {
                     {
                         let mut q = head.latch_untracked();
                         if q.invalidate_inherited(&req) {
-                            self.stats.on_sli_invalidated();
+                            self.stats.on_sli_invalidated(head.scope_id());
                             q.grant_pass(&self.stats);
                         }
                     }
@@ -229,8 +253,15 @@ impl LockManager {
                     // The SLI fast path: a bare CAS, no latch, no allocation.
                     let _sli = sli_profiler::enter(Category::Work(Component::Sli));
                     if req.try_reclaim(ts.txn_seq) {
-                        self.stats.on_sli_reclaimed();
+                        self.stats.on_sli_reclaimed(head.scope_id());
                         head.grant_word().dec_inherited();
+                        // Adaptive policies sample the reclaim (after the
+                        // decrement, so the word's inherited counter shows
+                        // only *other* agents' parked entries) so a head
+                        // kept alive purely by one agent's reclaim loop
+                        // cools and demotes; a no-op for every shipped
+                        // non-adaptive policy.
+                        head.policy().policy().on_reclaim(&head);
                         agent.remove(&req);
                         ts.insert_owned(Arc::clone(&req), head);
                         drop(_sli);
@@ -369,7 +400,7 @@ impl LockManager {
                 {
                     let mut q = head.latch_untracked();
                     if q.invalidate_inherited(&req) {
-                        self.stats.on_sli_invalidated();
+                        self.stats.on_sli_invalidated(head.scope_id());
                     }
                 }
                 agent.remove(&req);
@@ -433,7 +464,7 @@ impl LockManager {
                         // No latch, no LockRequest, no queue entry: the
                         // txn cache records a lightweight fast entry and
                         // release is a counter decrement.
-                        self.stats.on_fastpath_granted();
+                        self.stats.on_fastpath_granted(head.scope_id());
                         if track {
                             self.stats.on_ancestor_acquire(true);
                         }
@@ -457,10 +488,12 @@ impl LockManager {
             let req;
             let must_wait;
             {
-                // Decision point 1: the policy turns the acquire-time
-                // observation into the head's heat sample.
+                // Decision point 1: the head's resolved policy turns the
+                // acquire-time observation into the heat sample. The
+                // pointer was cached at head creation — no map lookup.
                 let (mut q, sample) = head.latch_observe(ts.agent_slot);
-                head.hot().record(self.policy.on_acquire(&sample));
+                head.hot()
+                    .record(head.policy().policy().on_acquire(&sample));
                 if q.zombie {
                     agent.evict_head(id);
                     continue; // raced with head removal; re-probe
@@ -664,13 +697,17 @@ impl LockManager {
                         released.push(req);
                     }
                     RequestStatus::Inherited => {
-                        // Decision point 3: keep the unused hand-off parked
-                        // for another generation, or drop it.
+                        // Decision point 3: the head's resolved policy
+                        // keeps the unused hand-off parked for another
+                        // generation, or drops it.
                         let unused = req.unused_generations.load(Ordering::Relaxed);
                         let keep = commit
-                            && self
-                                .policy
-                                .on_discard(sli_cfg, req.lock_id(), &head, unused as u32);
+                            && head.policy().policy().on_discard(
+                                sli_cfg,
+                                req.lock_id(),
+                                &head,
+                                unused as u32,
+                            );
                         if keep {
                             req.unused_generations.store(unused + 1, Ordering::Relaxed);
                             agent.inherited.push((req, head));
@@ -689,7 +726,7 @@ impl LockManager {
         // order, so parents precede children and criterion 5 can consult
         // the parent's decision).
         let n = ts.requests.len();
-        let decisions = if commit && sli_cfg.enabled && self.policy.inherits() {
+        let decisions = if commit && sli_cfg.enabled && self.policies.any_inherits() {
             let _sli = sli_profiler::enter(Category::Work(Component::Sli));
             // One bounded allocation per commit (`locks_held` entries, and
             // only for inheriting policies); a reusable scratch would
@@ -720,7 +757,10 @@ impl LockManager {
                     },
                 })
                 .collect();
-            self.policy.select_candidates(sli_cfg, &locks)
+            // Decision point 2 through the map: a uniform map delegates to
+            // the policy's own walk; a mixed map runs the parents-first
+            // walk with each lock's head-resolved per-lock predicate.
+            self.policies.select_candidates(sli_cfg, &locks)
         } else {
             vec![false; n]
         };
@@ -758,7 +798,7 @@ impl LockManager {
                 // traffic to the latched path during the transition.
                 head.grant_word().inc_inherited();
                 if req.begin_inheritance() {
-                    self.stats.on_sli_inherited();
+                    self.stats.on_sli_inherited(head.scope_id());
                     agent.inherited.push((req, head));
                 } else {
                     // Unreachable by design (the status was re-checked as
@@ -824,7 +864,7 @@ impl LockManager {
         } else {
             LockClass::ColdHigh
         };
-        if hot && !inherited && sli_cfg.enabled && self.policy.inherits() {
+        if hot && !inherited && sli_cfg.enabled && head.policy().policy().inherits() {
             self.stats.on_sli_hot_not_inherited();
         }
         self.stats.on_census(class);
@@ -840,33 +880,38 @@ impl LockManager {
     /// further reads) and leaf S locks protect no uncommitted writes; X
     /// locks and the intention chain above them are held until
     /// [`LockManager::end_txn`] so nobody observes non-durable writes.
+    ///
+    /// Scoped maps release per head: only locks whose *own* scope opts in
+    /// via [`LockPolicy::early_release_shared`] go early.
     pub fn pre_commit_release(&self, ts: &mut TxnLockState) {
-        if !self.policy.early_release_shared() || ts.requests.is_empty() {
+        if !self.policies.any_early_release() || ts.requests.is_empty() {
             return;
         }
         let _work = sli_profiler::enter(Category::Work(Component::LockManager));
         let mut kept = Vec::with_capacity(ts.requests.len());
         for entry in std::mem::take(&mut ts.requests) {
-            let early = match &entry {
-                Entry::Queued(req, _) => {
-                    req.status() == RequestStatus::Granted
-                        && req.mode() == LockMode::S
-                        && req.lock_id().level() == LockLevel::Record
-                }
-                Entry::Fast(mode, head) => {
-                    *mode == LockMode::S && head.id().level() == LockLevel::Record
-                }
-            };
+            let early = entry.head().policy().policy().early_release_shared()
+                && match &entry {
+                    Entry::Queued(req, _) => {
+                        req.status() == RequestStatus::Granted
+                            && req.mode() == LockMode::S
+                            && req.lock_id().level() == LockLevel::Record
+                    }
+                    Entry::Fast(mode, head) => {
+                        *mode == LockMode::S && head.id().level() == LockLevel::Record
+                    }
+                };
             if early {
                 ts.cache.remove(&entry.id());
                 // These locks skip end_txn; census them here so locks/txn
                 // accounting stays comparable across policies.
                 self.record_census(entry.id(), entry.mode(), entry.head(), false);
+                let scope = entry.head().scope_id();
                 match entry {
                     Entry::Queued(req, head) => self.release_one(&req, &head),
                     Entry::Fast(mode, head) => self.release_fast(mode, &head),
                 }
-                self.stats.on_early_released();
+                self.stats.on_early_released(scope);
             } else {
                 kept.push(entry);
             }
@@ -913,7 +958,7 @@ impl LockManager {
             // cannot race (we are the owning agent).
             if req.status() == RequestStatus::Inherited {
                 q.release(req, &self.stats);
-                self.stats.on_sli_discarded();
+                self.stats.on_sli_discarded(head.scope_id());
             }
         }
         self.maybe_gc_head(head);
@@ -943,7 +988,8 @@ impl std::fmt::Debug for LockManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LockManager")
             .field("live_heads", &self.table.len())
-            .field("policy", &self.policy.name())
+            .field("policy", &self.default_policy.name())
+            .field("scopes", &self.policies.num_scopes())
             .field("sli_enabled", &self.config.sli.enabled)
             .finish()
     }

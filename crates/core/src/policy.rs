@@ -18,12 +18,15 @@
 //! 3. [`LockPolicy::on_discard`] — the fate of an inherited lock the next
 //!    transaction did not use (keep parked for another generation, or drop).
 //!
-//! Five implementations ship with the crate: [`Baseline`], [`PaperSli`]
+//! Six implementations ship with the crate: [`Baseline`], [`PaperSli`]
 //! (the default; byte-for-byte the paper's five criteria), [`LatchOnlySli`]
 //! (raw latch-collision heat, the Shore-MT signal), [`AggressiveSli`]
-//! (inherit every held hierarchy lock), and [`EagerRelease`] (drop S locks
-//! at commit-LSN instead of inheriting — the ELR-style contrast point).
+//! (inherit every held hierarchy lock), [`EagerRelease`] (drop S locks
+//! at commit-LSN instead of inheriting — the ELR-style contrast point),
+//! and [`AdaptivePolicy`] (per-head baseline↔SLI switching driven by the
+//! observed collision/sharing rate with a hysteresis band).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::config::SliConfig;
@@ -123,47 +126,76 @@ pub trait LockPolicy: Send + Sync + std::fmt::Debug {
         false
     }
 
+    /// Hook invoked when an agent reclaims one of its own inherited
+    /// requests (the SLI CAS fast path), *after* the reclaim's own
+    /// inherited-counter decrement. Default no-op; [`AdaptivePolicy`]
+    /// records a heat sample here so a head kept alive purely by one
+    /// agent's reclaim loop cools down and demotes — without the hook,
+    /// reclaims bypass the latched sampling entirely and a promoted
+    /// head's contention window would stay frozen hot forever.
+    fn on_reclaim(&self, head: &LockHead) {
+        let _ = head;
+    }
+
+    /// Cumulative (promotions, demotions) for adaptive policies; `None`
+    /// for policies without per-head mode switching.
+    fn adaptive_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Decision point 2: select the inheritance candidates among a
     /// committing transaction's held locks (acquisition order, parents
     /// first). Returns one decision per lock.
     ///
-    /// The provided implementation reproduces the manager's historical
-    /// walk: parents are decided before children so
-    /// [`LockPolicy::is_candidate`] can consult the parent's decision
-    /// (criterion 5), and [`SliConfig::max_inherited_per_txn`] caps the
-    /// hand-off. Override only when the selection is not expressible as a
-    /// per-lock predicate.
+    /// The provided implementation runs the canonical
+    /// [`parents_first_walk`] with [`LockPolicy::is_candidate`] as the
+    /// per-lock predicate. Override only when the selection is not
+    /// expressible as a per-lock predicate.
     fn select_candidates(&self, cfg: &SliConfig, locks: &[HeldLock<'_>]) -> Vec<bool> {
-        let mut decisions = vec![false; locks.len()];
         if !cfg.enabled || !self.inherits() {
-            return decisions;
+            return vec![false; locks.len()];
         }
-        // Only page-or-higher locks can be parents; keeping records out of
-        // the index keeps the scan short even for thousand-lock
-        // transactions.
-        let mut decided: Vec<(LockId, bool)> = Vec::with_capacity(locks.len().min(64));
-        let mut inherited_count = 0usize;
-        for (i, l) in locks.iter().enumerate() {
-            let parent_ok = l.id.parent().map(|p| {
-                decided
-                    .iter()
-                    .find(|(did, _)| *did == p)
-                    .map(|(_, ok)| *ok)
-                    .unwrap_or(false)
-            });
-            let inherit = l.grantable
-                && inherited_count < cfg.max_inherited_per_txn
-                && self.is_candidate(cfg, l.id, l.mode, l.head, parent_ok);
-            decisions[i] = inherit;
-            if l.id.level() < LockLevel::Record {
-                decided.push((l.id, inherit));
-            }
-            if inherit {
-                inherited_count += 1;
-            }
-        }
-        decisions
+        parents_first_walk(cfg, locks, |l, parent_ok| {
+            self.is_candidate(cfg, l.id, l.mode, l.head, parent_ok)
+        })
     }
+}
+
+/// The canonical candidate-selection walk, shared by the trait's provided
+/// [`LockPolicy::select_candidates`] and `PolicyMap`'s mixed-scope
+/// selection: parents are decided before children so the per-lock
+/// predicate can consult the parent's decision (criterion 5), and
+/// [`SliConfig::max_inherited_per_txn`] caps the hand-off in acquisition
+/// order. Only page-or-higher locks enter the decided index — keeping
+/// records out keeps the scan short even for thousand-lock transactions.
+pub(crate) fn parents_first_walk(
+    cfg: &SliConfig,
+    locks: &[HeldLock<'_>],
+    mut is_candidate: impl FnMut(&HeldLock<'_>, Option<bool>) -> bool,
+) -> Vec<bool> {
+    let mut decisions = vec![false; locks.len()];
+    let mut decided: Vec<(LockId, bool)> = Vec::with_capacity(locks.len().min(64));
+    let mut inherited_count = 0usize;
+    for (i, l) in locks.iter().enumerate() {
+        let parent_ok = l.id.parent().map(|p| {
+            decided
+                .iter()
+                .find(|(did, _)| *did == p)
+                .map(|(_, ok)| *ok)
+                .unwrap_or(false)
+        });
+        let inherit = l.grantable
+            && inherited_count < cfg.max_inherited_per_txn
+            && is_candidate(l, parent_ok);
+        decisions[i] = inherit;
+        if l.id.level() < LockLevel::Record {
+            decided.push((l.id, inherit));
+        }
+        if inherit {
+            inherited_count += 1;
+        }
+    }
+    decisions
 }
 
 /// The unmodified baseline lock manager: every acquire goes through the
@@ -328,6 +360,168 @@ impl LockPolicy for EagerRelease {
     }
 }
 
+/// The adaptive policy: per-head switching between baseline behaviour and
+/// SLI, driven by the head's observed latch-collision/sharing rate with a
+/// hysteresis band (the ROADMAP's "switches signals by observed collision
+/// rate" item; cf. Pavlo et al., "On Predictive Modeling for Optimizing
+/// Transaction Execution" — runtime-observed workload signals driving
+/// concurrency-control choices automatically).
+///
+/// Every head starts in the *base* state and is **promoted** to inheriting
+/// when the hot-window ratio reaches [`AdaptivePolicy::promote`]; a
+/// promoted head is **demoted** only when the ratio falls to
+/// [`AdaptivePolicy::demote`] or below (`demote < promote`, so heads
+/// oscillating inside the band keep their state — no flapping). The
+/// promotion flag lives on the head's [`crate::HeadPolicy`] (per-head
+/// state, shared policy object); the promotion/demotion *counters* live
+/// here and aggregate across all heads in the scope.
+///
+/// Demotion needs fresh observations, but once a head is promoted most
+/// traffic arrives via the inherited-reclaim CAS, which bypasses the
+/// latched heat sampling (the hot window freezes at its promoted value).
+/// [`AdaptivePolicy::on_reclaim`] therefore reads a sharing hint off the
+/// grant word on every reclaim — other agents' parked inherited entries
+/// or live fast-path holds — and maintains a per-head **alone streak**:
+/// sharing resets it, a lone reclaim extends it. A promoted head demotes
+/// when the streak reaches [`AdaptivePolicy::demote_streak`] (no sharing
+/// left to exploit) *or* its hot-window ratio decays to
+/// [`AdaptivePolicy::demote`] or below. The streak makes demotion
+/// deterministic for a lone reclaim loop while a single observed sharer
+/// resets it, so heads under real contention essentially never flap
+/// (`P(false demote) ≈ (1 - p_share)^streak`).
+#[derive(Debug)]
+pub struct AdaptivePolicy {
+    /// Promote a head when its hot-window ratio reaches this value.
+    promote: f64,
+    /// Demote a promoted head when the ratio falls to this value or below.
+    demote: f64,
+    /// Demote a promoted head after this many consecutive reclaims that
+    /// observed no other sharer.
+    demote_streak: u32,
+    /// Hot-window size in samples (max 16).
+    window: u32,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy::with_band(0.5, 0.125)
+    }
+}
+
+impl AdaptivePolicy {
+    /// An adaptive policy with an explicit hysteresis band. Panics unless
+    /// `0 <= demote < promote <= 1`.
+    pub fn with_band(promote: f64, demote: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&promote) && (0.0..=1.0).contains(&demote) && demote < promote,
+            "adaptive band requires 0 <= demote < promote <= 1 (got {demote}..{promote})"
+        );
+        AdaptivePolicy {
+            promote,
+            demote,
+            demote_streak: 256,
+            window: 16,
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    /// Builder: override the alone-streak demotion threshold.
+    pub fn demote_streak(mut self, streak: u32) -> Self {
+        self.demote_streak = streak.max(1);
+        self
+    }
+
+    /// The promotion threshold.
+    pub fn promote_threshold(&self) -> f64 {
+        self.promote
+    }
+
+    /// The demotion threshold.
+    pub fn demote_threshold(&self) -> f64 {
+        self.demote
+    }
+
+    /// Evaluate the hysteresis band for `head`, flipping its promotion
+    /// state when a threshold is crossed. Returns the (possibly updated)
+    /// promotion state. Races between concurrent committers are harmless:
+    /// both observed the same crossing and the counters are advisory.
+    fn promoted(&self, head: &LockHead) -> bool {
+        let hp = head.policy();
+        let was = hp.adaptive_promoted();
+        let now = if was {
+            head.hot().ratio(self.window) > self.demote && hp.alone_streak() < self.demote_streak
+        } else {
+            head.hot().ratio(self.window) >= self.promote
+        };
+        if now != was {
+            hp.set_adaptive_promoted(now);
+            if now {
+                hp.reset_alone_streak();
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.demotions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        now
+    }
+}
+
+impl LockPolicy for AdaptivePolicy {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+    fn on_acquire(&self, sample: &AcquireSample) -> bool {
+        sample.latch_contended || sample.cross_agent_shared
+    }
+    fn is_candidate(
+        &self,
+        cfg: &SliConfig,
+        id: LockId,
+        mode: LockMode,
+        head: &LockHead,
+        parent_inherited: Option<bool>,
+    ) -> bool {
+        // The band *replaces* criterion 2: a promoted head inherits even
+        // while its ratio sits below `cfg.hot_threshold` (that is the
+        // hysteresis), so evaluate the remaining paper criteria with the
+        // hot check disarmed — and evaluate them *first*, so the band and
+        // its counters only ever run on heads SLI could actually target
+        // (a contended row's X head, hot as it may be, never promotes).
+        let relaxed = SliConfig {
+            hot_threshold: 0.0,
+            ..cfg.clone()
+        };
+        if !is_inheritance_candidate(&relaxed, id, mode, head, parent_inherited) {
+            return false;
+        }
+        self.promoted(head)
+    }
+    fn on_discard(&self, cfg: &SliConfig, _id: LockId, head: &LockHead, unused: u32) -> bool {
+        // Re-evaluating the band here is what demotes a head whose unused
+        // hand-offs are the only traffic left.
+        cfg.enabled && unused < cfg.hysteresis && self.promoted(head)
+    }
+    fn on_reclaim(&self, head: &LockHead) {
+        // The reclaim path cannot latch the queue, but the grant word
+        // still carries a sharing hint: other agents' parked inherited
+        // entries (our own was already decremented) or live fast-path
+        // holds mean the head is still worth inheriting; neither means
+        // this reclaim ran alone, extending the demotion streak.
+        let w = head.grant_word();
+        head.policy()
+            .record_reclaim(w.fast_total() > 0 || w.inherited_count() > 0);
+    }
+    fn adaptive_counters(&self) -> Option<(u64, u64)> {
+        Some((
+            self.promotions.load(Ordering::Relaxed),
+            self.demotions.load(Ordering::Relaxed),
+        ))
+    }
+}
+
 /// The shipped policies, nameable without constructing trait objects —
 /// used by configuration surfaces and the policy-matrix experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -342,16 +536,21 @@ pub enum PolicyKind {
     AggressiveSli,
     /// [`EagerRelease`].
     EagerRelease,
+    /// [`AdaptivePolicy`] with the default hysteresis band. Note that each
+    /// [`PolicyKind::build`] call constructs a fresh instance with its own
+    /// promotion/demotion counters.
+    Adaptive,
 }
 
 impl PolicyKind {
     /// Every shipped policy, in ablation-sweep order.
-    pub const ALL: [PolicyKind; 5] = [
+    pub const ALL: [PolicyKind; 6] = [
         PolicyKind::Baseline,
         PolicyKind::PaperSli,
         PolicyKind::LatchOnlySli,
         PolicyKind::AggressiveSli,
         PolicyKind::EagerRelease,
+        PolicyKind::Adaptive,
     ];
 
     /// Construct the policy object.
@@ -362,6 +561,7 @@ impl PolicyKind {
             PolicyKind::LatchOnlySli => Arc::new(LatchOnlySli),
             PolicyKind::AggressiveSli => Arc::new(AggressiveSli),
             PolicyKind::EagerRelease => Arc::new(EagerRelease),
+            PolicyKind::Adaptive => Arc::new(AdaptivePolicy::default()),
         }
     }
 
@@ -373,6 +573,7 @@ impl PolicyKind {
             PolicyKind::LatchOnlySli => "latch-only",
             PolicyKind::AggressiveSli => "aggressive",
             PolicyKind::EagerRelease => "eager-release",
+            PolicyKind::Adaptive => "adaptive",
         }
     }
 
@@ -580,6 +781,110 @@ mod tests {
         assert!(LatchOnlySli.on_acquire(&collided));
         assert!(PaperSli.on_acquire(&shared_only));
         assert!(PaperSli.on_acquire(&collided));
+    }
+
+    #[test]
+    fn adaptive_promotes_and_demotes_across_the_band() {
+        let policy = AdaptivePolicy::with_band(0.5, 0.25);
+        let t1 = LockId::Table(TableId(1));
+        let head = LockHead::new(t1);
+        let cfg = SliConfig::default();
+
+        // Cold head: not promoted, no candidate.
+        for _ in 0..16 {
+            head.hot().record(false);
+        }
+        assert!(!policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)));
+        assert_eq!(policy.adaptive_counters(), Some((0, 0)));
+
+        // Heat past the promote threshold: promoted, candidate.
+        for _ in 0..16 {
+            head.hot().record(true);
+        }
+        assert!(policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)));
+        assert!(head.policy().adaptive_promoted());
+        assert_eq!(policy.adaptive_counters(), Some((1, 0)));
+
+        // Inside the band (ratio 0.5 > demote 0.25 but < promote after
+        // cooling to 8/16): the promoted state sticks — hysteresis.
+        for _ in 0..8 {
+            head.hot().record(false);
+        }
+        assert!(policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)));
+        assert_eq!(policy.adaptive_counters(), Some((1, 0)));
+
+        // Cool below the demote threshold: demoted, no candidate.
+        for _ in 0..14 {
+            head.hot().record(false);
+        }
+        assert!(!policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)));
+        assert!(!head.policy().adaptive_promoted());
+        assert_eq!(policy.adaptive_counters(), Some((1, 1)));
+    }
+
+    #[test]
+    fn adaptive_promoted_head_inherits_below_the_global_hot_threshold() {
+        // The band replaces criterion 2: a promoted head stays a candidate
+        // while its ratio sits between demote and hot_threshold.
+        let policy = AdaptivePolicy::with_band(0.5, 0.125);
+        let t1 = LockId::Table(TableId(1));
+        let head = LockHead::new(t1);
+        for _ in 0..16 {
+            head.hot().record(true);
+        }
+        let cfg = SliConfig {
+            hot_threshold: 0.9,
+            ..SliConfig::default()
+        };
+        assert!(policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)));
+        // Ratio 4/16 = 0.25: below PaperSli's 0.9 bar, above demote.
+        for _ in 0..12 {
+            head.hot().record(false);
+        }
+        assert!(
+            policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)),
+            "promoted head must ride through the band"
+        );
+        assert!(
+            !PaperSli.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)),
+            "paper-sli would already have dropped it"
+        );
+    }
+
+    #[test]
+    fn adaptive_lone_reclaim_streak_demotes_a_promoted_head() {
+        let policy = AdaptivePolicy::default().demote_streak(8);
+        let t1 = LockId::Table(TableId(1));
+        let head = LockHead::new(t1);
+        let cfg = SliConfig::default();
+        for _ in 0..16 {
+            head.hot().record(true);
+        }
+        assert!(policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)));
+
+        // Lone reclaims (empty grant word: no fast holds, no parked
+        // inherited entries) extend the streak...
+        for _ in 0..7 {
+            policy.on_reclaim(&head);
+        }
+        // ...a shared reclaim resets it...
+        head.grant_word().inc_inherited();
+        policy.on_reclaim(&head);
+        assert_eq!(head.policy().alone_streak(), 0, "sharing resets");
+        head.grant_word().dec_inherited();
+        assert!(
+            policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)),
+            "still promoted: the streak never completed"
+        );
+        // ...and a full alone run demotes even though the (frozen) hot
+        // window still reads 1.0.
+        for _ in 0..8 {
+            policy.on_reclaim(&head);
+        }
+        assert!(!policy.is_candidate(&cfg, t1, LockMode::IS, &head, Some(true)));
+        assert_eq!(head.hot().ratio(16), 1.0, "window frozen hot");
+        assert_eq!(policy.adaptive_counters(), Some((1, 1)));
+        assert!(PaperSli.adaptive_counters().is_none());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::scope::MAX_POLICY_SCOPES;
+
 /// Release-time classification of one lock for the Figure 8 census.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockClass {
@@ -20,11 +22,30 @@ pub enum LockClass {
     ColdHigh,
 }
 
+/// Per-scope attribution of the policy-relevant counters: which
+/// [`crate::PolicyMap`] scope inherited, reclaimed, invalidated, discarded,
+/// early-released, or fast-path-granted how much. Scope ids index the
+/// map's scope list (`0` = default).
+#[derive(Debug, Default)]
+struct ScopeCounters {
+    inherited: AtomicU64,
+    reclaimed: AtomicU64,
+    invalidated: AtomicU64,
+    discarded: AtomicU64,
+    early_released: AtomicU64,
+    fastpath_granted: AtomicU64,
+}
+
 /// Monotonic counters maintained by the lock manager. All updates are
 /// relaxed single increments; snapshots are only approximately consistent,
 /// which is fine for reporting.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockStats {
+    /// Per-scope attribution (fixed-capacity so standalone heads built
+    /// outside a manager can still record into scope 0).
+    scope_counters: Box<[ScopeCounters]>,
+    /// Scopes actually configured; bounds the snapshot's `scopes` vector.
+    n_scopes: usize,
     // Traffic.
     lock_requests: AtomicU64,
     cache_hits: AtomicU64,
@@ -96,10 +117,71 @@ macro_rules! bump {
     };
 }
 
+impl Default for LockStats {
+    fn default() -> Self {
+        Self::with_scopes(1)
+    }
+}
+
+macro_rules! bump_scoped {
+    ($name:ident, $field:ident, $scope_field:ident) => {
+        /// Increment the counter, attributing it to policy scope `scope`.
+        #[inline]
+        pub fn $name(&self, scope: u16) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = self.scope_counters.get(scope as usize) {
+                s.$scope_field.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+}
+
 impl LockStats {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters tracking a single (default) policy scope.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh zeroed counters tracking `n_scopes` policy scopes.
+    pub fn with_scopes(n_scopes: usize) -> Self {
+        let n = n_scopes.clamp(1, MAX_POLICY_SCOPES);
+        LockStats {
+            scope_counters: (0..MAX_POLICY_SCOPES)
+                .map(|_| ScopeCounters::default())
+                .collect(),
+            n_scopes: n,
+            lock_requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coverage_hits: AtomicU64::new(0),
+            upgrades: AtomicU64::new(0),
+            blocks: AtomicU64::new(0),
+            deadlocks: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            census_total: AtomicU64::new(0),
+            census_hot_heritable: AtomicU64::new(0),
+            census_hot_non_heritable: AtomicU64::new(0),
+            census_cold_row: AtomicU64::new(0),
+            census_cold_high: AtomicU64::new(0),
+            sli_inherited: AtomicU64::new(0),
+            sli_reclaimed: AtomicU64::new(0),
+            sli_invalidated: AtomicU64::new(0),
+            sli_discarded: AtomicU64::new(0),
+            sli_hot_not_inherited: AtomicU64::new(0),
+            early_released: AtomicU64::new(0),
+            requests_pooled: AtomicU64::new(0),
+            requests_allocated: AtomicU64::new(0),
+            fastpath_granted: AtomicU64::new(0),
+            fastpath_fallbacks: AtomicU64::new(0),
+            fastpath_retry_exhausted: AtomicU64::new(0),
+            fastpath_sampled: AtomicU64::new(0),
+            fastpath_slow_releases: AtomicU64::new(0),
+            headcache_hits: AtomicU64::new(0),
+            headcache_misses: AtomicU64::new(0),
+            ancestor_acquires: AtomicU64::new(0),
+            ancestor_bypassed: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
     }
 
     bump!(on_lock_request, lock_requests);
@@ -109,15 +191,15 @@ impl LockStats {
     bump!(on_block, blocks);
     bump!(on_deadlock, deadlocks);
     bump!(on_timeout, timeouts);
-    bump!(on_sli_inherited, sli_inherited);
-    bump!(on_sli_reclaimed, sli_reclaimed);
-    bump!(on_sli_invalidated, sli_invalidated);
-    bump!(on_sli_discarded, sli_discarded);
+    bump_scoped!(on_sli_inherited, sli_inherited, inherited);
+    bump_scoped!(on_sli_reclaimed, sli_reclaimed, reclaimed);
+    bump_scoped!(on_sli_invalidated, sli_invalidated, invalidated);
+    bump_scoped!(on_sli_discarded, sli_discarded, discarded);
     bump!(on_sli_hot_not_inherited, sli_hot_not_inherited);
-    bump!(on_early_released, early_released);
+    bump_scoped!(on_early_released, early_released, early_released);
     bump!(on_request_pooled, requests_pooled);
     bump!(on_request_allocated, requests_allocated);
-    bump!(on_fastpath_granted, fastpath_granted);
+    bump_scoped!(on_fastpath_granted, fastpath_granted, fastpath_granted);
     bump!(on_fastpath_fallback, fastpath_fallbacks);
     bump!(on_fastpath_retry_exhausted, fastpath_retry_exhausted);
     bump!(on_fastpath_sampled, fastpath_sampled);
@@ -153,6 +235,17 @@ impl LockStats {
     /// Consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> LockStatsSnapshot {
         LockStatsSnapshot {
+            scopes: self.scope_counters[..self.n_scopes]
+                .iter()
+                .map(|s| ScopeStatsSnapshot {
+                    inherited: s.inherited.load(Ordering::Relaxed),
+                    reclaimed: s.reclaimed.load(Ordering::Relaxed),
+                    invalidated: s.invalidated.load(Ordering::Relaxed),
+                    discarded: s.discarded.load(Ordering::Relaxed),
+                    early_released: s.early_released.load(Ordering::Relaxed),
+                    fastpath_granted: s.fastpath_granted.load(Ordering::Relaxed),
+                })
+                .collect(),
             lock_requests: self.lock_requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             coverage_hits: self.coverage_hits.load(Ordering::Relaxed),
@@ -188,10 +281,41 @@ impl LockStats {
     }
 }
 
-/// Point-in-time copy of [`LockStats`].
+/// Per-scope slice of a [`LockStatsSnapshot`]: the policy-relevant
+/// counters attributed to one [`crate::PolicyMap`] scope. Scope names live
+/// on the map ([`crate::PolicyMap::scopes`]), not here.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
+pub struct ScopeStatsSnapshot {
+    pub inherited: u64,
+    pub reclaimed: u64,
+    pub invalidated: u64,
+    pub discarded: u64,
+    pub early_released: u64,
+    pub fastpath_granted: u64,
+}
+
+impl ScopeStatsSnapshot {
+    /// Counter-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &ScopeStatsSnapshot) -> ScopeStatsSnapshot {
+        ScopeStatsSnapshot {
+            inherited: self.inherited - earlier.inherited,
+            reclaimed: self.reclaimed - earlier.reclaimed,
+            invalidated: self.invalidated - earlier.invalidated,
+            discarded: self.discarded - earlier.discarded,
+            early_released: self.early_released - earlier.early_released,
+            fastpath_granted: self.fastpath_granted - earlier.fastpath_granted,
+        }
+    }
+}
+
+/// Point-in-time copy of [`LockStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
 pub struct LockStatsSnapshot {
+    /// Per-scope attribution, indexed by [`crate::PolicyMap`] scope id
+    /// (`[0]` = default scope).
+    pub scopes: Vec<ScopeStatsSnapshot>,
     pub lock_requests: u64,
     pub cache_hits: u64,
     pub coverage_hits: u64,
@@ -229,6 +353,15 @@ impl LockStatsSnapshot {
     /// Counter-wise difference `self - earlier` (for measurement windows).
     pub fn delta(&self, earlier: &LockStatsSnapshot) -> LockStatsSnapshot {
         LockStatsSnapshot {
+            scopes: self
+                .scopes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| match earlier.scopes.get(i) {
+                    Some(e) => s.delta(e),
+                    None => *s,
+                })
+                .collect(),
             lock_requests: self.lock_requests - earlier.lock_requests,
             cache_hits: self.cache_hits - earlier.cache_hits,
             coverage_hits: self.coverage_hits - earlier.coverage_hits,
@@ -357,6 +490,34 @@ mod tests {
     fn avg_locks_per_txn_guards_div_by_zero() {
         let snap = LockStatsSnapshot::default();
         assert_eq!(snap.avg_locks_per_txn(), 0.0);
+    }
+
+    #[test]
+    fn scoped_counters_attribute_to_their_scope_and_the_global_total() {
+        let s = LockStats::with_scopes(3);
+        s.on_sli_inherited(0);
+        s.on_sli_inherited(1);
+        s.on_sli_inherited(1);
+        s.on_sli_reclaimed(2);
+        s.on_fastpath_granted(1);
+        // Out-of-range scope ids still count globally (defensive).
+        s.on_sli_inherited(9999);
+        let snap = s.snapshot();
+        assert_eq!(snap.scopes.len(), 3);
+        assert_eq!(snap.sli_inherited, 4);
+        assert_eq!(snap.scopes[0].inherited, 1);
+        assert_eq!(snap.scopes[1].inherited, 2);
+        assert_eq!(snap.scopes[2].inherited, 0);
+        assert_eq!(snap.scopes[2].reclaimed, 1);
+        assert_eq!(snap.scopes[1].fastpath_granted, 1);
+
+        let before = snap.clone();
+        s.on_sli_inherited(1);
+        let after = s.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.sli_inherited, 1);
+        assert_eq!(d.scopes[1].inherited, 1);
+        assert_eq!(d.scopes[0].inherited, 0);
     }
 
     #[test]

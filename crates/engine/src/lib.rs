@@ -36,8 +36,8 @@ pub use session::{Session, Txn, TxnError};
 // depending on every crate directly.
 pub use bytes::Bytes;
 pub use sli_core::{
-    LockId, LockLevel, LockManagerConfig, LockMode, LockPolicy, LockStatsSnapshot, PolicyKind,
-    SliConfig, TableId,
+    AdaptivePolicy, LockId, LockLevel, LockManagerConfig, LockMode, LockPolicy, LockStatsSnapshot,
+    PolicyKind, PolicyMap, ScopeStatsSnapshot, SliConfig, TableId,
 };
 pub use sli_storage::{BufferPoolConfig, BufferPoolStats, Rid};
 pub use sli_wal::{LogConfig, LogStats};

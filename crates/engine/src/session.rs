@@ -9,7 +9,7 @@ use sli_profiler::{Category, Component};
 use sli_storage::Rid;
 use sli_wal::{LogRecord, Lsn};
 
-use crate::db::{Database, TableHandle};
+use crate::db::{Database, EngineError, TableHandle};
 
 /// Why a transaction failed. Deadlocks and timeouts are retryable; user
 /// aborts model the paper's NDBB-style "failed due to invalid inputs"
@@ -63,16 +63,16 @@ pub struct Session {
 }
 
 impl Session {
-    pub(crate) fn new(db: Arc<Database>) -> Session {
-        let agent = db
-            .lockmgr
-            .register_agent()
-            .expect("agent capacity exceeded; raise LockManagerConfig::max_agents");
+    pub(crate) fn try_new(db: Arc<Database>) -> Result<Session, EngineError> {
+        let agent = db.lockmgr.register_agent().map_err(|e| match e {
+            LockError::TooManyAgents { max } => EngineError::TooManyAgents { max },
+            other => unreachable!("register_agent returned {other:?}"),
+        })?;
         let ts = TxnLockState::new(agent.slot());
-        Session {
+        Ok(Session {
             db,
             state: RefCell::new(SessionState { agent, ts }),
-        }
+        })
     }
 
     /// Run one transaction. On `Ok` the transaction commits (forcing the
@@ -487,7 +487,7 @@ mod tests {
     use crate::db::DatabaseConfig;
 
     fn db() -> Arc<Database> {
-        Database::open(DatabaseConfig::with_sli().in_memory())
+        Database::open(DatabaseConfig::with_policy(sli_core::PolicyKind::PaperSli).in_memory())
     }
 
     #[test]
@@ -636,7 +636,7 @@ mod tests {
     #[test]
     fn sessions_inherit_locks_across_transactions() {
         // Inheritance needs queued acquisitions: grant-word fast path off.
-        let mut cfg = DatabaseConfig::with_sli().in_memory();
+        let mut cfg = DatabaseConfig::with_policy(sli_core::PolicyKind::PaperSli).in_memory();
         cfg.lock.fastpath = sli_core::FastPathConfig::disabled();
         let db = Database::open(cfg);
         let t = db.create_table("t").unwrap();

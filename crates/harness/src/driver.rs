@@ -212,7 +212,9 @@ mod tests {
 
     #[test]
     fn driver_measures_throughput_and_breakdown() {
-        let db = sli_engine::Database::open(DatabaseConfig::with_sli().in_memory());
+        let db = sli_engine::Database::open(
+            DatabaseConfig::with_policy(sli_engine::PolicyKind::PaperSli).in_memory(),
+        );
         let tm1 = Tm1::load(&db, 1000, 1);
         let mix = tm1.ndbb_mix();
         let cfg = RunConfig {
@@ -232,7 +234,9 @@ mod tests {
 
     #[test]
     fn sweep_and_peak() {
-        let db = sli_engine::Database::open(DatabaseConfig::baseline().in_memory());
+        let db = sli_engine::Database::open(
+            DatabaseConfig::with_policy(sli_engine::PolicyKind::Baseline).in_memory(),
+        );
         let tm1 = Tm1::load(&db, 500, 2);
         let mix = tm1.single(sli_workloads::tm1::Tm1Txn::GetSubscriberData);
         let cfg = RunConfig {

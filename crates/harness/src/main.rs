@@ -27,7 +27,8 @@ experiments:
   ablation-criteria  Section 4.2 criteria ablation
   bimodal            Section 4.4 bimodal workload
   roving-hotspot     Section 4.4 roving hotspot
-  policy-matrix      LockPolicy ablation: all five policies x agent counts
+  policy-matrix      LockPolicy ablation: every shipped policy x agent counts
+  policy-map         scoped policies: per-table overrides + adaptive promote/demote (TPC-C)
   latch-scaling      oversubscription sweep: agents at 1x-8x cores, parking counters
   grant-word         latch-free compatible acquisitions: fast-path counters on TPC-B
   all                everything above, in order
@@ -74,6 +75,9 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
         "policy-matrix" => {
             figures::policy_matrix(scale);
         }
+        "policy-map" => {
+            figures::policy_map(scale);
+        }
         "latch-scaling" => {
             figures::latch_scaling(scale);
         }
@@ -94,6 +98,7 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
                 "bimodal",
                 "roving-hotspot",
                 "policy-matrix",
+                "policy-map",
                 "latch-scaling",
                 "grant-word",
             ] {

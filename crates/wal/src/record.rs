@@ -126,9 +126,9 @@ impl LogRecord {
     }
 
     /// Serialize into `out`, returning the encoded length. The format is a
-    /// simple tagged binary layout; the log is write-only in this system
-    /// (recovery is out of scope) but the encoding cost models the real
-    /// engine's log-record construction work.
+    /// simple tagged binary layout; [`LogRecord::decode`] is its exact
+    /// inverse — the first step toward crash recovery (the redo/undo pass
+    /// itself is still unimplemented; see the ROADMAP).
     pub fn encode(&self, out: &mut BytesMut) -> usize {
         let start = out.len();
         out.put_u64_le(self.txn);
@@ -181,6 +181,99 @@ impl LogRecord {
         }
         out.len() - start
     }
+
+    /// Decode one record from the front of `buf`, returning it and the
+    /// number of bytes consumed — the exact inverse of
+    /// [`LogRecord::encode`]. Returns `None` when `buf` is truncated
+    /// mid-record or starts with an unknown tag, so a recovery scan can
+    /// stop cleanly at a torn tail.
+    pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
+        let mut r = Reader { buf, pos: 0 };
+        let txn = r.u64()?;
+        let payload = match r.u8()? {
+            0 => LogPayload::Begin,
+            1 => LogPayload::Commit,
+            2 => LogPayload::Abort,
+            3 => {
+                let (table, page, slot) = (r.u32()?, r.u32()?, r.u16()?);
+                let before = r.bytes()?;
+                let after = r.bytes()?;
+                LogPayload::Update {
+                    table,
+                    page,
+                    slot,
+                    before,
+                    after,
+                }
+            }
+            4 => {
+                let (table, page, slot) = (r.u32()?, r.u32()?, r.u16()?);
+                let data = r.bytes()?;
+                LogPayload::Insert {
+                    table,
+                    page,
+                    slot,
+                    data,
+                }
+            }
+            5 => {
+                let (table, page, slot) = (r.u32()?, r.u32()?, r.u16()?);
+                let before = r.bytes()?;
+                LogPayload::Delete {
+                    table,
+                    page,
+                    slot,
+                    before,
+                }
+            }
+            _ => return None,
+        };
+        Some((LogRecord { txn, payload }, r.pos))
+    }
+
+    /// Decode every whole record at the front of `buf`, stopping at the
+    /// first torn or unknown record. Returns the records and the number of
+    /// bytes consumed.
+    pub fn decode_all(buf: &[u8]) -> (Vec<LogRecord>, usize) {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while let Some((rec, n)) = LogRecord::decode(&buf[pos..]) {
+            out.push(rec);
+            pos += n;
+        }
+        (out, pos)
+    }
+}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A `u32` length prefix followed by that many payload bytes.
+    fn bytes(&mut self) -> Option<Bytes> {
+        let len = self.u32()? as usize;
+        Some(Bytes::copy_from_slice(self.take(len)?))
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +289,54 @@ mod tests {
         assert!(n2 > n1);
         // Tag byte of the first record sits right after the txn id.
         assert_eq!(buf[8], 0);
+    }
+
+    #[test]
+    fn decode_inverts_encode_for_every_payload_kind() {
+        let records = [
+            LogRecord::begin(1),
+            LogRecord::commit(u64::MAX),
+            LogRecord::abort(0),
+            LogRecord::update(7, 1, 2, 3, b"before", b"after"),
+            LogRecord::update(7, 1, 2, 3, b"", b""),
+            LogRecord::insert(9, 4, 5, 6, b"data"),
+            LogRecord::delete(11, 7, 8, 9, b"gone"),
+        ];
+        let mut buf = BytesMut::new();
+        let lens: Vec<usize> = records.iter().map(|r| r.encode(&mut buf)).collect();
+        let (decoded, consumed) = LogRecord::decode_all(&buf);
+        assert_eq!(decoded, records);
+        assert_eq!(consumed, buf.len());
+        // Per-record lengths agree with what encode reported.
+        let mut pos = 0;
+        for (rec, len) in records.iter().zip(lens) {
+            let (one, n) = LogRecord::decode(&buf[pos..]).unwrap();
+            assert_eq!(&one, rec);
+            assert_eq!(n, len);
+            pos += n;
+        }
+    }
+
+    #[test]
+    fn decode_rejects_torn_tails_and_unknown_tags() {
+        let mut buf = BytesMut::new();
+        LogRecord::update(1, 2, 3, 4, b"before", b"after").encode(&mut buf);
+        // Every strict prefix is a torn record.
+        for cut in 0..buf.len() {
+            assert_eq!(LogRecord::decode(&buf[..cut]), None, "cut at {cut}");
+        }
+        // Unknown tag byte.
+        let mut bad = buf.to_vec();
+        bad[8] = 99;
+        assert_eq!(LogRecord::decode(&bad), None);
+        // decode_all stops cleanly at the torn tail.
+        let mut two = BytesMut::new();
+        LogRecord::begin(5).encode(&mut two);
+        let first_len = two.len();
+        LogRecord::insert(5, 1, 1, 1, b"xyz").encode(&mut two);
+        let (recs, consumed) = LogRecord::decode_all(&two[..two.len() - 1]);
+        assert_eq!(recs, vec![LogRecord::begin(5)]);
+        assert_eq!(consumed, first_len);
     }
 
     #[test]

@@ -168,7 +168,9 @@ mod tests {
 
     #[test]
     fn load_counts() {
-        let db = Database::open(DatabaseConfig::with_sli().in_memory());
+        let db = Database::open(
+            DatabaseConfig::with_policy(sli_engine::PolicyKind::PaperSli).in_memory(),
+        );
         let b = TpcB::load(&db, 4, 100);
         assert_eq!(db.record_count(db.table_handle("tpcb_branch").unwrap()), 4);
         assert_eq!(db.record_count(db.table_handle("tpcb_teller").unwrap()), 40);
@@ -182,7 +184,9 @@ mod tests {
 
     #[test]
     fn single_threaded_transactions_preserve_the_invariant() {
-        let db = Database::open(DatabaseConfig::with_sli().in_memory());
+        let db = Database::open(
+            DatabaseConfig::with_policy(sli_engine::PolicyKind::PaperSli).in_memory(),
+        );
         let b = TpcB::load(&db, 2, 50);
         let s = db.session();
         let mut rng = SmallRng::seed_from_u64(12);
@@ -200,7 +204,9 @@ mod tests {
 
     #[test]
     fn concurrent_transactions_preserve_the_invariant() {
-        let db = Database::open(DatabaseConfig::with_sli().in_memory());
+        let db = Database::open(
+            DatabaseConfig::with_policy(sli_engine::PolicyKind::PaperSli).in_memory(),
+        );
         let b = TpcB::load(&db, 2, 50);
         let mut handles = Vec::new();
         for t in 0..6u64 {

@@ -199,7 +199,7 @@ proptest! {
         seed_rows in prop::collection::vec((0u64..32, any::<u64>()), 1..16),
         ops in prop::collection::vec((0u8..3, 0u64..48, any::<u64>()), 1..24,),
     ) {
-        let db = Database::open(DatabaseConfig::with_sli().in_memory());
+        let db = Database::open(DatabaseConfig::with_policy(sli::engine::PolicyKind::PaperSli).in_memory());
         let t = db.create_table("t").unwrap();
         for (k, v) in &seed_rows {
             if db.peek(t, *k).is_none() {

@@ -4,15 +4,83 @@
 //! this minimal stand-in. It implements the classic
 //! `criterion_group!`/`criterion_main!` + `Criterion::bench_function`
 //! surface with a simple but honest measurement loop: per-iteration timing
-//! over a warm-up and a measurement window, reporting mean / p50 / p99
-//! nanoseconds and iterations per second. No statistical regression
-//! machinery, plots, or HTML reports.
+//! over a warm-up and a measurement window, summarized by
+//! [`SampleStats`] — mean, trimmed mean (Tukey-fence outlier rejection),
+//! p50 / p95 / p99, and standard deviation — so A/B microbenches report
+//! more than raw samples. No regression machinery, plots, or HTML reports.
 //!
 //! Respects `--bench`-style harness flags well enough for
 //! `cargo bench` / `cargo test --benches` to run, and accepts an optional
 //! substring filter argument like real criterion.
 
 use std::time::{Duration, Instant};
+
+/// Summary statistics over one benchmark's per-iteration samples (all
+/// values in nanoseconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples collected.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Mean over the samples inside the Tukey fences (`q1 - 1.5·iqr ..
+    /// q3 + 1.5·iqr`) — robust to scheduler spikes on saturated hosts.
+    pub trimmed_mean: f64,
+    /// Samples outside the Tukey fences, excluded from `trimmed_mean`.
+    pub outliers: usize,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl SampleStats {
+    /// Summarize a set of samples. Returns `None` for an empty set.
+    pub fn from_samples(samples: &[Duration]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = ns.len();
+        let mean = ns.iter().sum::<f64>() / n as f64;
+        let var = ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let (q1, q3) = (percentile(&ns, 25.0), percentile(&ns, 75.0));
+        let iqr = q3 - q1;
+        let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let inliers: Vec<f64> = ns.iter().copied().filter(|&x| x >= lo && x <= hi).collect();
+        // The fences always contain the interquartile range, so at least
+        // half the samples survive and the trimmed mean is well-defined.
+        let trimmed_mean = inliers.iter().sum::<f64>() / inliers.len() as f64;
+        Some(SampleStats {
+            n,
+            mean,
+            trimmed_mean,
+            outliers: n - inliers.len(),
+            p50: percentile(&ns, 50.0),
+            p95: percentile(&ns, 95.0),
+            p99: percentile(&ns, 99.0),
+            std_dev: var.sqrt(),
+        })
+    }
+}
+
+/// Linear-interpolated percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (pct / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
 
 /// Opaque black box preventing the optimizer from deleting a value.
 #[inline]
@@ -127,16 +195,54 @@ impl Criterion {
         self
     }
 
-    /// Run one benchmark target.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+    /// Run one benchmark target, printing its statistics (delegates to
+    /// [`Criterion::bench_function_stats`]).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        if self.list_only {
+            let matches = self
+                .filter
+                .as_ref()
+                .is_none_or(|needle| id.contains(needle.as_str()));
+            if matches {
+                println!("{id}: bench");
+            }
+            return self;
+        }
+        if let Some(stats) = self.bench_function_stats(id, f) {
+            let per_sec = if stats.trimmed_mean > 0.0 {
+                (1e9 / stats.trimmed_mean) as u64
+            } else {
+                0
+            };
+            println!(
+                "{id:<48} mean {:>10.0} ns  trim {:>10.0} ns (-{} outl)  p50 {:>10.0} ns  \
+                 p95 {:>10.0} ns  p99 {:>10.0} ns  sd {:>8.0}  ({per_sec}/s)",
+                stats.mean,
+                stats.trimmed_mean,
+                stats.outliers,
+                stats.p50,
+                stats.p95,
+                stats.p99,
+                stats.std_dev
+            );
+        }
+        self
+    }
+
+    /// Run one benchmark target and return its statistics (`None` when the
+    /// target was filtered out or `--list` is active).
+    pub fn bench_function_stats<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut f: F,
+    ) -> Option<SampleStats> {
         if let Some(filter) = &self.filter {
             if !id.contains(filter.as_str()) {
-                return self;
+                return None;
             }
         }
         if self.list_only {
-            println!("{id}: bench");
-            return self;
+            return None;
         }
         let (measurement_time, warm_up_time) = if self.test_mode {
             // `cargo test --benches` smoke mode: one quick pass.
@@ -151,14 +257,7 @@ impl Criterion {
             sample_size: self.sample_size,
         };
         f(&mut b);
-        let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
-        ns.sort_unstable();
-        let mean = ns.iter().sum::<u128>() / ns.len() as u128;
-        let p50 = ns[ns.len() / 2];
-        let p99 = ns[((ns.len() * 99) / 100).min(ns.len() - 1)];
-        let per_sec = 1_000_000_000u128.checked_div(mean).unwrap_or(0);
-        println!("{id:<48} mean {mean:>10} ns  p50 {p50:>10} ns  p99 {p99:>10} ns  ({per_sec}/s)");
-        self
+        SampleStats::from_samples(&b.samples)
     }
 
     /// Final summary hook (no-op in the stand-in).
@@ -196,6 +295,64 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_summarize_known_samples() {
+        let samples: Vec<Duration> = (1..=100u64).map(Duration::from_nanos).collect();
+        let s = SampleStats::from_samples(&samples).unwrap();
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert_eq!(s.outliers, 0, "a uniform ramp has no Tukey outliers");
+        assert!((s.trimmed_mean - s.mean).abs() < 1e-9);
+        // Population sd of 1..=100 is sqrt((100^2-1)/12).
+        assert!((s.std_dev - (9999.0f64 / 12.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_scheduler_spikes() {
+        // 99 quiet samples around 100ns plus one 1ms spike: the raw mean
+        // is dragged past 10µs, the trimmed mean stays honest.
+        let mut samples: Vec<Duration> = (0..99)
+            .map(|i| Duration::from_nanos(95 + (i % 11)))
+            .collect();
+        samples.push(Duration::from_millis(1));
+        let s = SampleStats::from_samples(&samples).unwrap();
+        assert!(s.mean > 10_000.0, "raw mean dominated by the spike");
+        assert!(
+            s.trimmed_mean < 110.0,
+            "trimmed mean rejects it: {}",
+            s.trimmed_mean
+        );
+        assert_eq!(s.outliers, 1);
+        assert!(s.p50 < 110.0);
+    }
+
+    #[test]
+    fn stats_edge_cases() {
+        assert_eq!(SampleStats::from_samples(&[]), None);
+        let one = SampleStats::from_samples(&[Duration::from_nanos(42)]).unwrap();
+        assert_eq!(one.n, 1);
+        assert_eq!(one.mean, 42.0);
+        assert_eq!(one.p99, 42.0);
+        assert_eq!(one.trimmed_mean, 42.0);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn bench_function_stats_returns_summary() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let stats = c
+            .bench_function_stats("smoke/stats", |b| b.iter(|| black_box(1u64 + 1)))
+            .expect("unfiltered run yields stats");
+        assert!(stats.n >= 1);
+        assert!(stats.mean > 0.0);
+        assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
+    }
 
     #[test]
     fn bench_function_runs_routine() {
