@@ -1,0 +1,250 @@
+//! # sli-check — deterministic concurrency model checker
+//!
+//! A vendored, dependency-free, loom-style model checker for the lock-free
+//! protocols in this workspace (the grant word, the parking-lot waiter
+//! subsystem, the latch layer). Like the other `vendor/` stand-ins it
+//! exists because the build environment has no registry access; unlike
+//! them it lives under `crates/` because it is original infrastructure,
+//! not an API-compatible subset of a published crate.
+//!
+//! ## How it works
+//!
+//! A *model* is a closure run many times, once per explored schedule.
+//! Every operation on a shimmed primitive ([`sync::AtomicU64`],
+//! [`sync::Mutex`], [`thread::park`], …) is a *schedule point*: the acting
+//! thread pauses and a DFS driver decides which runnable thread performs
+//! the next operation. Threads are real OS threads — so `thread_local!`
+//! state behaves exactly as in production — but exactly one ever runs at a
+//! time. After each execution the driver backtracks to the deepest
+//! decision with an untried alternative and replays.
+//!
+//! Exploration is bounded CHESS-style: schedules with more than
+//! `preemption_bound` context switches *away from a still-runnable
+//! thread* are skipped (switches at blocking points are free). Empirically
+//! almost all concurrency bugs manifest within 2 preemptions; the CI deep
+//! job uses 3. A state hash (thread histories + last-written values of
+//! every touched cell) prunes re-visited states, and every failure carries
+//! a dot-separated schedule string that [`Builder::replay`] re-runs
+//! exactly.
+//!
+//! ## What a failure looks like
+//!
+//! [`model`] panics with the failing schedule; [`Builder::check`] returns
+//! a [`Report`] instead (used by the negative tests, which assert that a
+//! seeded bug *is* caught). Failures are: a model-thread panic (assertion
+//! violation), a deadlock (no runnable thread, no timed park pending), a
+//! depth blow-up (livelock guard), or replay divergence (the model is
+//! nondeterministic — e.g. it consulted real time or randomness).
+//!
+//! ## Limitations vs. real loom
+//!
+//! * **Sequential consistency only.** Schedules are interleavings of
+//!   atomic steps; weak-memory reorderings (store buffering, load
+//!   buffering) are not modelled. The vendored parking_lot already runs
+//!   its SC-critical paths with `SeqCst`, and the grant word is a single
+//!   word (single-location SC is what the hardware gives), so the gap is
+//!   the *documented* residual risk.
+//! * **No data-race detection for non-atomic memory.** `UnsafeCell` access
+//!   tracking is not implemented; models must express racy state through
+//!   the shim atomics.
+//! * **No spurious wakeups / spurious CAS failures.** `park` only returns
+//!   when unparked (or timed out) and `compare_exchange_weak` is strong.
+//!   Both only ever add retry laps at the SC level, so eliding them does
+//!   not hide outcomes, but code *relying* on spurious wakeups for
+//!   liveness would pass here and misbehave in production.
+//! * **Preemption bounding + state hashing are heuristics.** Exhaustive
+//!   within the bound; bugs needing more preemptions (or hash-colliding
+//!   states) escape. Raise `SLI_CHECK_PREEMPTIONS` to push the frontier.
+//!
+//! ## Using it
+//!
+//! ```
+//! use sli_check::{model, sync::AtomicU64, sync::Ordering};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let c2 = Arc::clone(&c);
+//!     let t = sli_check::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     c.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(c.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! Production crates opt in via their `sli_check` cargo feature, which
+//! swaps `std::sync`/`std::thread` imports for these shims. With the
+//! feature off the shims never enter the build; with it on but no model
+//! running, every shim is a thin passthrough that honours the caller's
+//! memory orderings.
+
+mod sched;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub use sched::{model, Builder, Failure, FailureKind, Report};
+
+/// Runtime introspection for facade call sites.
+pub mod rt {
+    pub use crate::sched::in_model;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{AtomicU64, Mutex, Ordering};
+    use super::{model, thread, Builder, FailureKind};
+    use std::sync::Arc;
+
+    /// Two unsynchronised load+store increments: the classic lost update.
+    /// The checker must find it, and the reported schedule must replay to
+    /// the same failure.
+    #[test]
+    fn racy_increment_is_caught_and_replays() {
+        let body = || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::Relaxed);
+                c2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = c.load(Ordering::Relaxed);
+            c.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+        };
+        let report = Builder::new().preemption_bound(2).check(body);
+        let failure = report.failure.expect("lost update must be found");
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(!failure.schedule.is_empty());
+
+        let replayed = Builder::new().replay(body, &failure.schedule);
+        let refail = replayed.failure.expect("replay must reproduce");
+        assert_eq!(refail.kind, FailureKind::Panic);
+        assert_eq!(replayed.executions, 1);
+    }
+
+    /// The same increments under a shim mutex pass over every schedule.
+    #[test]
+    fn mutexed_increment_passes() {
+        let report = Builder::new().preemption_bound(2).check(|| {
+            let c = Arc::new(Mutex::new(0u64));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                *c2.lock() += 1;
+            });
+            *c.lock() += 1;
+            t.join().unwrap();
+            assert_eq!(*c.lock(), 2);
+        });
+        assert!(report.passed(), "failure: {:?}", report.failure);
+        assert!(report.executions > 1, "must have explored alternatives");
+    }
+
+    /// Preemption bounding is real: at bound 0 each thread runs to
+    /// completion, so the racy increment above is (wrongly, by design)
+    /// missed; bound 1 finds it.
+    #[test]
+    fn preemption_bound_gates_the_racy_schedule() {
+        let body = || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::Relaxed);
+                c2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = c.load(Ordering::Relaxed);
+            c.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::Relaxed), 2);
+        };
+        assert!(Builder::new().preemption_bound(0).check(body).passed());
+        assert!(!Builder::new().preemption_bound(1).check(body).passed());
+    }
+
+    /// Classic ABBA lock-order inversion: detected as a deadlock with a
+    /// replayable schedule.
+    #[test]
+    fn abba_deadlock_is_caught() {
+        let report = Builder::new().preemption_bound(2).check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        });
+        let failure = report.failure.expect("ABBA must deadlock on some schedule");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+    }
+
+    /// Park/unpark permit semantics: an unpark delivered before the park
+    /// must not be lost, over every interleaving.
+    #[test]
+    fn unpark_before_park_is_banked() {
+        let report = Builder::new().preemption_bound(2).check(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let flag2 = Arc::clone(&flag);
+            let waiter = thread::spawn(move || {
+                while flag2.load(Ordering::Acquire) == 0 {
+                    thread::park();
+                }
+            });
+            flag.store(1, Ordering::Release);
+            waiter.thread().unpark();
+            waiter.join().unwrap();
+        });
+        assert!(report.passed(), "failure: {:?}", report.failure);
+    }
+
+    /// Condvar wait/notify with a predicate loop terminates on every
+    /// schedule (the wait atomically releases the mutex).
+    #[test]
+    fn condvar_handoff_passes() {
+        use super::sync::Condvar;
+        let report = Builder::new().preemption_bound(2).check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let state2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*state2;
+                let mut g = m.lock();
+                *g = true;
+                drop(g);
+                cv.notify_one();
+            });
+            let (m, cv) = &*state;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+            drop(g);
+            t.join().unwrap();
+        });
+        assert!(report.passed(), "failure: {:?}", report.failure);
+    }
+
+    /// `model` panics with the schedule embedded in the message.
+    #[test]
+    #[should_panic(expected = "sli-check: model failed")]
+    fn model_panics_with_schedule() {
+        model(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::Relaxed);
+                c2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = c.load(Ordering::Relaxed);
+            c.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::Relaxed), 2);
+        });
+    }
+}

@@ -1,0 +1,141 @@
+//! Shimmed threading primitives: spawn/join, park/unpark, `current()`.
+//!
+//! Outside a model everything delegates to `std::thread`. Inside a model,
+//! spawned closures run on real OS threads (so `thread_local!` state — the
+//! parker's per-thread slot, for instance — behaves exactly as in
+//! production) but only ever execute while holding the scheduler baton,
+//! and park/unpark move virtual thread states instead of touching the OS.
+
+use crate::sched::{self, Controller, Ctx};
+use std::sync::{Arc, Mutex as StdMutex, Weak};
+use std::time::Duration;
+
+/// Handle to a (possibly virtual) thread, supporting `unpark`.
+#[derive(Clone, Debug)]
+pub struct Thread(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Os(std::thread::Thread),
+    Model { ctrl: Weak<Controller>, tid: usize },
+}
+
+impl std::fmt::Debug for Repr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Repr::Os(t) => f.debug_tuple("Os").field(&t.id()).finish(),
+            Repr::Model { tid, .. } => f.debug_struct("Model").field("tid", tid).finish(),
+        }
+    }
+}
+
+impl Thread {
+    pub fn unpark(&self) {
+        match &self.0 {
+            Repr::Os(t) => t.unpark(),
+            Repr::Model { ctrl, tid } => Ctx::unpark_via(ctrl, *tid),
+        }
+    }
+}
+
+/// The calling thread's handle (virtual when inside a model).
+pub fn current() -> Thread {
+    match sched::ctx() {
+        None => Thread(Repr::Os(std::thread::current())),
+        Some(cx) => Thread(Repr::Model {
+            ctrl: cx.controller(),
+            tid: cx.tid,
+        }),
+    }
+}
+
+/// Block until unparked (or immediately, consuming a banked permit).
+pub fn park() {
+    match sched::ctx() {
+        None => std::thread::park(),
+        Some(cx) => cx.park(None),
+    }
+}
+
+/// Like [`park`] but with a timeout measured on the model's logical clock:
+/// the deadline fires only when no other thread is runnable.
+pub fn park_timeout(dur: Duration) {
+    match sched::ctx() {
+        None => std::thread::park_timeout(dur),
+        Some(cx) => {
+            let deadline = cx
+                .now_ns()
+                .saturating_add(dur.as_nanos().min(u64::MAX as u128) as u64);
+            cx.park(Some(deadline));
+        }
+    }
+}
+
+/// A pure schedule point under the model; a real yield otherwise.
+pub fn yield_now() {
+    match sched::ctx() {
+        None => std::thread::yield_now(),
+        Some(cx) => cx.yield_point(),
+    }
+}
+
+/// Handle to a spawned (possibly virtual) thread.
+pub struct JoinHandle<T>(JhRepr<T>);
+
+enum JhRepr<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model {
+        ctrl: Weak<Controller>,
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Joining a
+    /// model thread that panicked never returns: the whole execution is
+    /// torn down and the failure reported with its schedule.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            JhRepr::Os(h) => h.join(),
+            JhRepr::Model { tid, result, .. } => {
+                let cx = sched::ctx().expect("model JoinHandle joined outside its model");
+                cx.join(tid);
+                match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread panicked")),
+                }
+            }
+        }
+    }
+
+    pub fn thread(&self) -> Thread {
+        match &self.0 {
+            JhRepr::Os(h) => Thread(Repr::Os(h.thread().clone())),
+            JhRepr::Model { ctrl, tid, .. } => Thread(Repr::Model {
+                ctrl: ctrl.clone(),
+                tid: *tid,
+            }),
+        }
+    }
+}
+
+/// Spawn a thread. Inside a model the new thread becomes part of the
+/// explored schedule (it starts paused, like every other thread).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::ctx() {
+        None => JoinHandle(JhRepr::Os(std::thread::spawn(f))),
+        Some(cx) => {
+            let (tid, result) = sched::spawn_model_thread(&cx, f);
+            JoinHandle(JhRepr::Model {
+                ctrl: cx.controller(),
+                tid,
+                result,
+            })
+        }
+    }
+}

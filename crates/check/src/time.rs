@@ -1,0 +1,32 @@
+//! Logical time under the model.
+//!
+//! Model executions must be deterministic, so `Instant::now()` cannot leak
+//! in: under a model [`now`] returns a fixed base instant plus the
+//! scheduler's logical clock, which only advances when every thread is
+//! blocked (to the earliest pending park deadline). Outside a model it is
+//! the real clock.
+
+use crate::sched;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+fn base() -> Instant {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    *BASE.get_or_init(Instant::now)
+}
+
+/// The current time: real outside a model, logical inside one.
+pub fn now() -> Instant {
+    match sched::ctx() {
+        None => Instant::now(),
+        Some(cx) => base() + Duration::from_nanos(cx.now_ns()),
+    }
+}
+
+/// Whether wall-clock-based fairness heuristics (the parker's periodic
+/// fair handoff) should run. Disabled under the model: fairness decisions
+/// keyed on real elapsed time are nondeterministic, and the global bucket
+/// state they mutate would leak between executions.
+pub fn fair_wakes() -> bool {
+    sched::ctx().is_none()
+}

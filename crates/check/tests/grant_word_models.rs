@@ -1,0 +1,312 @@
+//! Exhaustive interleaving models of the grant-word protocol
+//! (`sli_core::word::GrantWord`), run on the sli-check scheduler. The
+//! `sli_check` feature on `sli-core` routes the word's `AtomicU64` through
+//! the shimmed facade, so every fast-path CAS, `fetch_sub` release,
+//! `fetch_or` barrier and `fetch_update` claim below is a schedule point
+//! and the checker enumerates every interleaving up to the preemption
+//! bound (`SLI_CHECK_PREEMPTIONS`, default 2).
+//!
+//! Three protocol obligations are modelled, each over ALL schedules:
+//!
+//! 1. **WAIT barrier**: after `begin_scan` raises `FLAG_WAIT`, the fast
+//!    counters may only decrease — a latched scan's view is monotone.
+//! 2. **No lost wakeup**: a fast release that observes `FLAG_WAIT` must
+//!    wake the latched waiter; a seeded bug that drops the obligation is
+//!    caught as a deadlock with a replayable schedule.
+//! 3. **ZOMBIE retirement**: `try_retire` can never succeed while a fast
+//!    grant is held, and a fast grant can never land on a retired head.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use sli_check::{sync::AtomicBool, thread, Builder, FailureKind};
+use sli_core::{FastAcquire, GrantWord, LockMode};
+
+/// Group-mode indices (see `sli_core::word::FAST_MODES`).
+const IS: usize = 0;
+const IX: usize = 1;
+const S: usize = 2;
+
+/// After `begin_scan`, the fast-holder total observed from under the latch
+/// must never increase: `FLAG_WAIT` is in every fast acquire's blocker
+/// mask, so concurrent threads can release but not acquire.
+#[test]
+fn wait_barrier_makes_fast_counts_monotone() {
+    let report = Builder::new().check(|| {
+        let w = Arc::new(GrantWord::new());
+
+        // One holder acquired before the race so there is something to
+        // release while the scan runs.
+        assert_eq!(w.try_fast_acquire(IX, 4), FastAcquire::Granted);
+
+        let t1 = {
+            let w = Arc::clone(&w);
+            thread::spawn(move || {
+                // Races the scan: may land before the barrier (observed by
+                // the first sample) or be refused, but never in between.
+                let granted = w.try_fast_acquire(IS, 4) == FastAcquire::Granted;
+                w.fast_release(IX);
+                if granted {
+                    w.fast_release(IS);
+                }
+            })
+        };
+        let t2 = {
+            let w = Arc::clone(&w);
+            thread::spawn(move || {
+                // S conflicts with the pre-acquired IX holder; it may only
+                // be granted after t1's IX release, and never once WAIT is
+                // up.
+                if w.try_fast_acquire(S, 4) == FastAcquire::Granted {
+                    w.fast_release(S);
+                }
+            })
+        };
+
+        // The latched scanner: raise the barrier, then sample twice with
+        // the racing threads interleaved arbitrarily in between.
+        w.begin_scan();
+        let first = w.fast_total();
+        let second = w.fast_total();
+        assert!(
+            second <= first,
+            "fast counters grew under FLAG_WAIT: {first} -> {second}"
+        );
+        let third = w.fast_total();
+        assert!(third <= second, "fast counters grew under FLAG_WAIT");
+
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+    println!(
+        "wait_barrier_makes_fast_counts_monotone: {} executions, {} states, {} pruned, {:?}",
+        report.executions, report.states, report.pruned, report.elapsed
+    );
+    assert!(report.passed(), "failure: {:?}", report.failure);
+    assert!(report.executions > 1, "model explored only one schedule");
+}
+
+/// The latched-waiter wakeup protocol, correct version: the waiter raises
+/// `FLAG_WAIT` (via `begin_scan`) and parks; a conflicting fast holder
+/// whose `fast_release` returns `true` (WAIT observed at decrement time)
+/// grants the waiter and unparks it. Every schedule must terminate.
+#[test]
+fn fast_release_observing_wait_wakes_the_waiter() {
+    let report = Builder::new().check(|| {
+        let w = Arc::new(GrantWord::new());
+        let granted = Arc::new(AtomicBool::new(false));
+
+        // The fast holder is in place before the waiter arrives.
+        assert_eq!(w.try_fast_acquire(IX, 4), FastAcquire::Granted);
+
+        let waiter = {
+            let w = Arc::clone(&w);
+            let granted = Arc::clone(&granted);
+            thread::spawn(move || {
+                // Latched S requester: raise the barrier, re-check for the
+                // conflicting fast holder, and park until granted.
+                w.begin_scan();
+                if !w.fast_conflicts_with(LockMode::S) {
+                    return; // holder already gone: granted immediately
+                }
+                while !granted.load(Ordering::SeqCst) {
+                    thread::park();
+                }
+            })
+        };
+        let waiter_thread = waiter.thread();
+
+        // The releasing fast holder: the WAIT-observed return value is the
+        // wakeup obligation.
+        if w.fast_release(IX) {
+            granted.store(true, Ordering::SeqCst);
+            waiter_thread.unpark();
+        }
+
+        waiter.join().unwrap();
+    });
+    println!(
+        "fast_release_observing_wait_wakes_the_waiter: {} executions, {} states, {} pruned, {:?}",
+        report.executions, report.states, report.pruned, report.elapsed
+    );
+    assert!(report.passed(), "failure: {:?}", report.failure);
+}
+
+/// The seeded lost-wakeup bug: the releaser ignores `fast_release`'s
+/// WAIT-observed return value. The checker must find the schedule where
+/// the waiter raises the barrier, observes the conflict, and parks before
+/// the (now silent) release — a deadlock — and the reported schedule must
+/// replay to the same failure deterministically.
+#[test]
+fn dropping_the_wait_obligation_is_caught_as_deadlock() {
+    let buggy = || {
+        let w = Arc::new(GrantWord::new());
+        let granted = Arc::new(AtomicBool::new(false));
+        assert_eq!(w.try_fast_acquire(IX, 4), FastAcquire::Granted);
+
+        let waiter = {
+            let w = Arc::clone(&w);
+            let granted = Arc::clone(&granted);
+            thread::spawn(move || {
+                w.begin_scan();
+                if !w.fast_conflicts_with(LockMode::S) {
+                    return;
+                }
+                while !granted.load(Ordering::SeqCst) {
+                    thread::park();
+                }
+            })
+        };
+
+        // BUG (deliberate): the WAIT-observed return value is discarded,
+        // so a waiter parked behind the barrier is never woken.
+        let _ = w.fast_release(IX);
+
+        waiter.join().unwrap();
+    };
+
+    let report = Builder::new().check(buggy);
+    let failure = report
+        .failure
+        .as_ref()
+        .expect("seeded lost-wakeup bug was not caught");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "failure: {failure:?}");
+    println!(
+        "dropping_the_wait_obligation_is_caught_as_deadlock: caught after {} executions, \
+         schedule {}",
+        report.executions, failure.schedule
+    );
+
+    // The schedule string must reproduce the identical failure in a single
+    // deterministic execution.
+    let replay = Builder::new().replay(buggy, &failure.schedule);
+    assert_eq!(replay.executions, 1);
+    let replayed = replay.failure.expect("replay did not reproduce the bug");
+    assert_eq!(replayed.kind, FailureKind::Deadlock);
+    assert_eq!(replayed.schedule, failure.schedule);
+}
+
+/// Same seeded bug through the panicking `model()` entry point, proving a
+/// failing model surfaces as a test failure with the schedule in the
+/// panic message.
+#[test]
+#[should_panic(expected = "sli-check: model failed")]
+fn seeded_lost_wakeup_fails_the_model_harness() {
+    sli_check::model(|| {
+        let w = Arc::new(GrantWord::new());
+        let granted = Arc::new(AtomicBool::new(false));
+        assert_eq!(w.try_fast_acquire(IX, 4), FastAcquire::Granted);
+        let waiter = {
+            let w = Arc::clone(&w);
+            let granted = Arc::clone(&granted);
+            thread::spawn(move || {
+                w.begin_scan();
+                if !w.fast_conflicts_with(LockMode::S) {
+                    return;
+                }
+                while !granted.load(Ordering::SeqCst) {
+                    thread::park();
+                }
+            })
+        };
+        let _ = w.fast_release(IX); // BUG: wakeup obligation dropped
+        waiter.join().unwrap();
+    });
+}
+
+/// Head retirement vs a racing fast grant: `try_retire`'s CAS requires all
+/// fast counters to be zero, so in no schedule can a fast holder coexist
+/// with `FLAG_ZOMBIE`. A grant therefore proves the head is live, and a
+/// retire proves no holder remains.
+#[test]
+fn retire_never_races_a_fast_grant() {
+    let report = Builder::new().check(|| {
+        let w = Arc::new(GrantWord::new());
+
+        let prober = {
+            let w = Arc::clone(&w);
+            thread::spawn(move || match w.try_fast_acquire(IX, 4) {
+                FastAcquire::Granted => {
+                    // While the grant is held, retirement must be
+                    // impossible: the retire CAS validates zero counters.
+                    assert!(
+                        !w.is_zombie(),
+                        "fast grant coexists with FLAG_ZOMBIE (head unlinked under a holder)"
+                    );
+                    assert!(!w.try_retire(), "retire succeeded under a fast holder");
+                    w.fast_release(IX);
+                    true
+                }
+                FastAcquire::Zombie => false,
+                other => panic!("unexpected fast-acquire outcome {other:?}"),
+            })
+        };
+
+        let retirer = {
+            let w = Arc::clone(&w);
+            thread::spawn(move || {
+                let retired = w.try_retire();
+                if retired {
+                    // Zombie blocks all future fast grants, so the word can
+                    // hold no fast counters from here on.
+                    assert_eq!(w.fast_total(), 0, "retired head still has fast holders");
+                }
+                retired
+            })
+        };
+
+        let granted = prober.join().unwrap();
+        let retired = retirer.join().unwrap();
+        if !retired {
+            // The retirer lost the race to a live holder; by the time both
+            // threads are done the holder has released, so a second
+            // attempt (the bucket-latched caller would retry) must win.
+            assert!(w.try_retire());
+        } else if !granted {
+            // The prober saw the zombie: it must still be set.
+            assert!(w.is_zombie());
+        }
+    });
+    println!(
+        "retire_never_races_a_fast_grant: {} executions, {} states, {} pruned, {:?}",
+        report.executions, report.states, report.pruned, report.elapsed
+    );
+    assert!(report.passed(), "failure: {:?}", report.failure);
+    assert!(report.executions > 1, "model explored only one schedule");
+}
+
+/// The latched claim (`claim_queued`) validates conflicting fast counters
+/// in the same CAS that sets the queue flag: an S claim and a racing fast
+/// IX grant can never both succeed.
+#[test]
+fn claim_queued_and_fast_grant_exclude_each_other() {
+    let report = Builder::new().check(|| {
+        let w = Arc::new(GrantWord::new());
+
+        let fast = {
+            let w = Arc::clone(&w);
+            thread::spawn(move || w.try_fast_acquire(IX, 4) == FastAcquire::Granted)
+        };
+        let latched = {
+            let w = Arc::clone(&w);
+            thread::spawn(move || w.claim_queued(LockMode::S))
+        };
+
+        let fast_granted = fast.join().unwrap();
+        let claim_ok = latched.join().unwrap();
+        // S (queued) and IX (fast) are incompatible: at most one side wins.
+        // (Both may lose: the fast CAS sees Q_S raised first *after* its
+        // initial load — FastAcquire::Conflict — while claim_queued also
+        // fails only if the IX counter is up; but both *succeeding* would
+        // be a mutual-exclusion violation.)
+        assert!(
+            !(fast_granted && claim_ok),
+            "incompatible fast IX grant and queued S claim both succeeded"
+        );
+    });
+    println!(
+        "claim_queued_and_fast_grant_exclude_each_other: {} executions, {} states, {} pruned, {:?}",
+        report.executions, report.states, report.pruned, report.elapsed
+    );
+    assert!(report.passed(), "failure: {:?}", report.failure);
+}

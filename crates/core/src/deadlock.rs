@@ -155,6 +155,9 @@ impl DigestTable {
     /// Publish `digest` as agent `agent`'s transitive wait set.
     pub fn publish(&self, agent: u32, digest: &AgentSet) {
         debug_assert_eq!(digest.words.len(), self.words, "digest width");
+        // ordering: release so a reader that sees the digest also sees the
+        // wait-for edges recorded before publication; per-word tearing is
+        // fine — Dreadlocks tolerates transient over/under-approximation.
         for (w, v) in self.slot(agent).iter().zip(&digest.words) {
             w.store(*v, Ordering::Release);
         }
@@ -162,6 +165,8 @@ impl DigestTable {
 
     /// Clear agent `agent`'s digest (it stopped waiting).
     pub fn clear(&self, agent: u32) {
+        // ordering: release for symmetry with `publish`; clearing only ever
+        // removes edges, which is always safe for cycle detection.
         for w in self.slot(agent) {
             w.store(0, Ordering::Release);
         }
@@ -170,6 +175,7 @@ impl DigestTable {
     /// Read agent `agent`'s current digest.
     pub fn read(&self, agent: u32) -> AgentSet {
         let mut out = self.make_set();
+        // ordering: acquire pairs with `publish`'s release stores.
         for (o, w) in out.words.iter_mut().zip(self.slot(agent)) {
             *o = w.load(Ordering::Acquire);
         }
@@ -179,6 +185,7 @@ impl DigestTable {
     /// Union agent `agent`'s published digest into `into` without
     /// allocating a fresh set.
     fn union_into(&self, agent: u32, into: &mut AgentSet) {
+        // ordering: acquire pairs with `publish`'s release stores.
         for (o, w) in into.words.iter_mut().zip(self.slot(agent)) {
             *o |= w.load(Ordering::Acquire);
         }

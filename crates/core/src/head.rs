@@ -420,6 +420,11 @@ pub struct LockHead {
     /// Lock-free mirror of `queue.waiters`, read by SLI's criterion 4
     /// without taking the latch.
     waiters_mirror: AtomicU32,
+    /// Best-effort identity of the most recent grant-word fast grantee
+    /// (`agent_slot + 1`; 0 = none). Fast holds carry no `LockRequest`,
+    /// so without this hint a deadlock cycle through a fast-held edge is
+    /// invisible to Dreadlocks and resolves only by timeout.
+    fast_hint: AtomicU32,
     /// The packed grant state fast-path acquirers CAS against; also
     /// referenced by `queue` so latched mutations keep it in sync.
     word: Arc<GrantWord>,
@@ -446,6 +451,7 @@ impl LockHead {
             id,
             hot: HotTracker::new(),
             waiters_mirror: AtomicU32::new(0),
+            fast_hint: AtomicU32::new(0),
             word: Arc::clone(&word),
             policy,
             queue: Latched::new(Component::LockManager, LockQueue::new(word, scope_id)),
@@ -482,7 +488,36 @@ impl LockHead {
 
     /// Lock-free view of the waiter count (criterion 4).
     pub fn waiters_hint(&self) -> u32 {
+        // ordering: relaxed — an advisory mirror for the hot-lock
+        // criterion; staleness only shifts a heuristic decision.
         self.waiters_mirror.load(Ordering::Relaxed)
+    }
+
+    /// Record `slot` as the most recent fast grantee (see `fast_hint`).
+    #[inline]
+    pub fn publish_fast_hint(&self, slot: u32) {
+        // ordering: relaxed — an advisory hint; a stale or missing value
+        // only adds or drops one conservative digest edge.
+        self.fast_hint.store(slot + 1, Ordering::Relaxed);
+    }
+
+    /// Drop the hint if it still names `slot` (its fast hold ended).
+    #[inline]
+    pub fn clear_fast_hint(&self, slot: u32) {
+        // ordering: relaxed advisory hint (see `publish_fast_hint`).
+        let _ = self
+            .fast_hint
+            .compare_exchange(slot + 1, 0, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The last known fast grantee's agent slot, if any.
+    #[inline]
+    pub fn fast_hint(&self) -> Option<u32> {
+        // ordering: relaxed advisory hint (see `publish_fast_hint`).
+        match self.fast_hint.load(Ordering::Relaxed) {
+            0 => None,
+            v => Some(v - 1),
+        }
     }
 
     /// Latch the queue, feeding the contention bit into the hot tracker.
@@ -586,6 +621,7 @@ impl std::ops::DerefMut for QueueGuard<'_> {
 
 impl Drop for QueueGuard<'_> {
     fn drop(&mut self) {
+        // ordering: relaxed advisory mirror (see `waiters_hint`).
         self.head
             .waiters_mirror
             .store(self.inner.waiters, Ordering::Relaxed);

@@ -33,9 +33,12 @@ impl HotTracker {
         // A racy read-modify-write is acceptable: dropping one sample under
         // contention biases *toward* detecting heat, which is exactly when
         // samples race.
+        // ordering: relaxed — the window is a lossy heuristic by design
+        // (see above); no other memory is published through it.
         let cur = self.state.load(Ordering::Relaxed);
         let bits = (cur & 0xFFFF) << 1 | contended as u32;
         let count = ((cur >> COUNT_SHIFT) + 1).min(WINDOW_MAX);
+        // ordering: relaxed lossy heuristic (see above).
         self.state
             .store((count << COUNT_SHIFT) | (bits & 0xFFFF), Ordering::Relaxed);
     }
@@ -45,6 +48,7 @@ impl HotTracker {
     #[inline]
     pub fn ratio(&self, window: u32) -> f64 {
         let window = window.clamp(1, WINDOW_MAX);
+        // ordering: relaxed read of the lossy heuristic window.
         let cur = self.state.load(Ordering::Relaxed);
         let count = cur >> COUNT_SHIFT;
         if count < window {
@@ -67,6 +71,7 @@ impl HotTracker {
 
     /// Reset the window (used by tests and the roving-hotspot experiment).
     pub fn clear(&self) {
+        // ordering: relaxed reset of the lossy heuristic window.
         self.state.store(0, Ordering::Relaxed);
     }
 }

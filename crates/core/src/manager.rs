@@ -117,6 +117,8 @@ impl LockManager {
         if let Some(slot) = self.free_slots.lock().pop() {
             return Ok(AgentSliState::with_pool_cap(slot, cap));
         }
+        // ordering: relaxed — a pure id allocator; uniqueness comes from
+        // the atomic RMW, not from memory ordering.
         let slot = self.next_agent.fetch_add(1, Ordering::Relaxed);
         if slot as usize >= self.config.max_agents {
             return Err(LockError::TooManyAgents {
@@ -133,6 +135,7 @@ impl LockManager {
     /// inherited lock whose parent is no longer continuously inherited is
     /// invalidated *before any transaction tries to use it*.
     pub fn begin(&self, ts: &mut TxnLockState, agent: &mut AgentSliState) {
+        // ordering: relaxed — a pure id allocator (see `register_agent`).
         let seq = self.next_txn.fetch_add(1, Ordering::Relaxed);
         ts.reset(seq);
         if agent.inherited.is_empty() {
@@ -323,6 +326,7 @@ impl LockManager {
             q.push_granted(Arc::clone(&req));
         }
         let idx = held.fast_group_index().expect("fast holds are group modes");
+        head.clear_fast_hint(ts.agent_slot);
         if head.grant_word().fast_release(idx) {
             self.stats.on_fastpath_slow_release();
             let mut q = head.latch_untracked();
@@ -465,6 +469,7 @@ impl LockManager {
                         // txn cache records a lightweight fast entry and
                         // release is a counter decrement.
                         self.stats.on_fastpath_granted(head.scope_id());
+                        head.publish_fast_hint(ts.agent_slot);
                         if track {
                             self.stats.on_ancestor_acquire(true);
                         }
@@ -624,6 +629,19 @@ impl LockManager {
                     self.digests.clear(slot);
                     return Ok(());
                 }
+                // Fast holders carry no queue entry, so the scan above
+                // can't see them. If a conflicting fast hold exists, fold
+                // in the grant word's last-grantee hint so a cycle through
+                // a fast-held edge still closes (instead of resolving only
+                // by timeout). Over-inclusion is conservative: a stale
+                // hint can at worst abort one extra transaction.
+                if head.grant_word().fast_conflicts_with(mode) {
+                    if let Some(a) = head.fast_hint() {
+                        if a != slot && !blockers.contains(&a) {
+                            blockers.push(a);
+                        }
+                    }
+                }
                 if self.config.deadlock == DeadlockPolicy::Dreadlocks {
                     deadlocked = self
                         .digests
@@ -700,6 +718,8 @@ impl LockManager {
                         // Decision point 3: the head's resolved policy
                         // keeps the unused hand-off parked for another
                         // generation, or drops it.
+                        // ordering: relaxed — only the owning agent reads
+                        // and writes this GC counter.
                         let unused = req.unused_generations.load(Ordering::Relaxed);
                         let keep = commit
                             && head.policy().policy().on_discard(
@@ -709,6 +729,7 @@ impl LockManager {
                                 unused as u32,
                             );
                         if keep {
+                            // ordering: owner-only GC counter (see above).
                             req.unused_generations.store(unused + 1, Ordering::Relaxed);
                             agent.inherited.push((req, head));
                         } else {
@@ -783,7 +804,7 @@ impl LockManager {
         for (i, entry) in entries.into_iter().enumerate().rev() {
             let (req, head) = match entry {
                 Entry::Fast(mode, head) => {
-                    self.release_fast(mode, &head);
+                    self.release_fast(ts.agent_slot, mode, &head);
                     continue;
                 }
                 Entry::Queued(req, head) => (req, head),
@@ -909,7 +930,7 @@ impl LockManager {
                 let scope = entry.head().scope_id();
                 match entry {
                     Entry::Queued(req, head) => self.release_one(&req, &head),
-                    Entry::Fast(mode, head) => self.release_fast(mode, &head),
+                    Entry::Fast(mode, head) => self.release_fast(ts.agent_slot, mode, &head),
                 }
                 self.stats.on_early_released(scope);
             } else {
@@ -923,8 +944,9 @@ impl LockManager {
     /// WAIT flag was up at decrement time a waiter may have been blocked
     /// (in part) by this hold, so the releaser takes the latch and runs a
     /// grant pass — the slow half of the no-lost-wakeup protocol.
-    fn release_fast(&self, mode: LockMode, head: &Arc<LockHead>) {
+    fn release_fast(&self, slot: u32, mode: LockMode, head: &Arc<LockHead>) {
         let idx = mode.fast_group_index().expect("fast holds are group modes");
+        head.clear_fast_hint(slot);
         if head.grant_word().fast_release(idx) {
             self.stats.on_fastpath_slow_release();
             let mut q = head.latch_untracked();
@@ -1324,6 +1346,58 @@ mod tests {
         );
         let snap = m.stats().snapshot();
         assert!(snap.deadlocks >= 1 || snap.timeouts >= 1);
+    }
+
+    #[test]
+    fn fast_held_cycle_is_detected_by_dreadlocks() {
+        // A fast-holds S on `fast_id` (no queue entry, no LockRequest)
+        // and waits for X on `slow_id`; B holds X on `slow_id` and waits
+        // for X on `fast_id`. Without the grant word's fast-holder hint
+        // this cycle has no digest edge naming A and resolves only by the
+        // lock timeout — the generous timeout here would make the test
+        // hang for 10 s and then fail the Deadlock match below.
+        let mut cfg = LockManagerConfig::with_policy(crate::PolicyKind::Baseline);
+        cfg.lock_timeout = Duration::from_secs(10);
+        cfg.deadlock_poll = Duration::from_micros(200);
+        // Make the S acquire deterministically fast (no heat-sampling
+        // fall-through to the latched path).
+        cfg.fastpath.sample_every = 0;
+        let m = LockManager::new(cfg);
+        let fast_id = rec(1, 0, 0);
+        let slow_id = rec(1, 0, 1);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+
+        let spawn = |first: LockId, first_mode: LockMode, second: LockId| {
+            let m = Arc::clone(&m);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut agent = m.register_agent().unwrap();
+                let mut ts = TxnLockState::new(agent.slot());
+                m.begin(&mut ts, &mut agent);
+                m.lock(&mut ts, &mut agent, first, first_mode).unwrap();
+                barrier.wait();
+                let r = m.lock(&mut ts, &mut agent, second, LockMode::X);
+                m.end_txn(&mut ts, &mut agent, r.is_ok());
+                r
+            })
+        };
+        let a = spawn(fast_id, LockMode::S, slow_id);
+        let b = spawn(slow_id, LockMode::X, fast_id);
+        let ra = a.join().unwrap();
+        let rb = b.join().unwrap();
+        let snap = m.stats().snapshot();
+        assert!(
+            snap.fastpath_granted >= 1,
+            "precondition: the S hold must be a grant-word fast grant"
+        );
+        assert!(ra.is_err() || rb.is_err(), "cycle: {ra:?} {rb:?}");
+        let failed = if ra.is_err() { &ra } else { &rb };
+        assert!(
+            matches!(failed, Err(LockError::Deadlock { .. })),
+            "a fast-held cycle must resolve by detection, not timeout: {ra:?} {rb:?}"
+        );
+        assert_eq!(snap.timeouts, 0, "no blocked thread waited out the clock");
+        assert!(snap.deadlocks >= 1);
     }
 
     #[test]

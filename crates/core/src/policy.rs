@@ -460,8 +460,10 @@ impl AdaptivePolicy {
             hp.set_adaptive_promoted(now);
             if now {
                 hp.reset_alone_streak();
+                // ordering: monotonic statistics counter.
                 self.promotions.fetch_add(1, Ordering::Relaxed);
             } else {
+                // ordering: monotonic statistics counter.
                 self.demotions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -515,6 +517,7 @@ impl LockPolicy for AdaptivePolicy {
             .record_reclaim(w.fast_total() > 0 || w.inherited_count() > 0);
     }
     fn adaptive_counters(&self) -> Option<(u64, u64)> {
+        // ordering: advisory snapshot of independent counters.
         Some((
             self.promotions.load(Ordering::Relaxed),
             self.demotions.load(Ordering::Relaxed),

@@ -174,24 +174,31 @@ impl LockRequest {
     /// Owning transaction sequence number.
     #[inline]
     pub fn txn(&self) -> u64 {
+        // ordering: acquire pairs with the release store in `try_reclaim`
+        // so a reader sees the adopting transaction's id.
         self.txn.load(Ordering::Acquire)
     }
 
     /// Current status.
     #[inline]
     pub fn status(&self) -> RequestStatus {
+        // ordering: acquire pairs with the release stores of the status
+        // transitions — observing Granted publishes mode/convert_to.
         RequestStatus::from_u8(self.status.load(Ordering::Acquire))
     }
 
     /// Currently granted mode (NL while waiting).
     #[inline]
     pub fn mode(&self) -> LockMode {
+        // ordering: acquire pairs with `set_granted_mode`'s release store.
         mode_from_u8(self.mode.load(Ordering::Acquire))
     }
 
     /// Requested / upgrade-target mode.
     #[inline]
     pub fn convert_to(&self) -> LockMode {
+        // ordering: acquire for symmetry with `status`; the field is only
+        // written under the head latch or before a release store.
         mode_from_u8(self.convert_to.load(Ordering::Acquire))
     }
 
@@ -202,8 +209,13 @@ impl LockRequest {
     /// granted-mode summary.
     pub(crate) fn grant(&self) {
         let _g = self.wait_lock.lock();
+        // ordering: relaxed is enough for mode/convert_to — the release
+        // store of Granted below publishes both, and waiters read status
+        // first (acquire) before looking at the mode.
         let target = self.convert_to.load(Ordering::Relaxed);
-        self.mode.store(target, Ordering::Relaxed);
+        self.mode.store(target, Ordering::Relaxed); // ordering: see above.
+                                                    // ordering: release publishes the granted mode to the acquire
+                                                    // loads in `status()`/`wait_for_grant`.
         self.status
             .store(RequestStatus::Granted as u8, Ordering::Release);
         self.wait_cv.notify_all();
@@ -212,14 +224,19 @@ impl LockRequest {
     /// Upgrade a granted request in place (no wait was needed). Caller holds
     /// the head latch.
     pub(crate) fn set_granted_mode(&self, mode: LockMode) {
+        // ordering: release so a racing `mode()` reader sees the new mode;
+        // convert_to is only read meaningfully under the head latch.
         self.mode.store(mode as u8, Ordering::Release);
-        self.convert_to.store(mode as u8, Ordering::Relaxed);
+        self.convert_to.store(mode as u8, Ordering::Relaxed); // ordering: latch-guarded.
     }
 
     /// Begin an upgrade: mark Converting with the given target. Caller holds
     /// the head latch.
     pub(crate) fn begin_convert(&self, target: LockMode) {
+        // ordering: the release store of Converting below publishes the
+        // target; nothing reads convert_to without first seeing status.
         self.convert_to.store(target as u8, Ordering::Relaxed);
+        // ordering: release publishes the conversion target (see above).
         self.status
             .store(RequestStatus::Converting as u8, Ordering::Release);
     }
@@ -227,14 +244,19 @@ impl LockRequest {
     /// Abandon an upgrade (deadlock/timeout victim): fall back to the
     /// previously granted mode. Caller holds the head latch.
     pub(crate) fn cancel_convert(&self) {
+        // ordering: both fields are guarded by the head latch the caller
+        // holds; the release store of Granted publishes them to waiters.
         let cur = self.mode.load(Ordering::Relaxed);
-        self.convert_to.store(cur, Ordering::Relaxed);
+        self.convert_to.store(cur, Ordering::Relaxed); // ordering: latch-guarded.
+                                                       // ordering: release publishes the fallback mode (see above).
         self.status
             .store(RequestStatus::Granted as u8, Ordering::Release);
     }
 
     /// Mark released. Caller holds the head latch and unlinks the request.
     pub(crate) fn mark_released(&self) {
+        // ordering: release so the owning agent's next acquire load of
+        // status observes the unlink performed under the latch.
         self.status
             .store(RequestStatus::Released as u8, Ordering::Release);
     }
@@ -243,6 +265,9 @@ impl LockRequest {
     /// agent; no latch needed because the request keeps counting toward the
     /// granted summary and no other thread transitions Granted requests.
     pub fn begin_inheritance(&self) -> bool {
+        // ordering: AcqRel — the success publishes the request as
+        // Inherited to racing reclaim/invalidate CASes; acquire on failure
+        // to observe the state that beat us.
         self.status
             .compare_exchange(
                 RequestStatus::Granted as u8,
@@ -260,6 +285,9 @@ impl LockRequest {
     /// invalidated the request first.
     #[inline]
     pub fn try_reclaim(&self, new_txn: u64) -> bool {
+        // ordering: AcqRel — winning the race acquires the inheriting
+        // agent's writes and publishes the adoption; acquire on failure to
+        // see the invalidator's state.
         let ok = self
             .status
             .compare_exchange(
@@ -270,8 +298,10 @@ impl LockRequest {
             )
             .is_ok();
         if ok {
+            // ordering: release pairs with `txn()`'s acquire; the GC
+            // generation counter is advisory, hence relaxed.
             self.txn.store(new_txn, Ordering::Release);
-            self.unused_generations.store(0, Ordering::Relaxed);
+            self.unused_generations.store(0, Ordering::Relaxed); // ordering: advisory.
         }
         ok
     }
@@ -281,6 +311,8 @@ impl LockRequest {
     /// success). Returns false if the owner reclaimed it first.
     #[inline]
     pub fn try_invalidate(&self) -> bool {
+        // ordering: AcqRel mirror of `try_reclaim` — exactly one of the two
+        // racing CASes can move the request out of Inherited.
         self.status
             .compare_exchange(
                 RequestStatus::Inherited as u8,

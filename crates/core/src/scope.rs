@@ -129,6 +129,8 @@ impl HeadPolicy {
     /// Whether an adaptive policy has promoted this head to inheriting.
     #[inline]
     pub fn adaptive_promoted(&self) -> bool {
+        // ordering: relaxed — the promotion flag is a heuristic hint; a
+        // stale read just delays the policy flip by one decision.
         self.promoted.load(Ordering::Relaxed) != 0
     }
 
@@ -136,12 +138,14 @@ impl HeadPolicy {
     /// committers are harmless: both observed the same band crossing.
     #[inline]
     pub fn set_adaptive_promoted(&self, promoted: bool) {
+        // ordering: relaxed heuristic flag (see `adaptive_promoted`).
         self.promoted.store(promoted as u8, Ordering::Relaxed);
     }
 
     /// Current alone-reclaim streak (adaptive demotion signal).
     #[inline]
     pub fn alone_streak(&self) -> u32 {
+        // ordering: relaxed heuristic counter (see `adaptive_promoted`).
         self.alone_streak.load(Ordering::Relaxed)
     }
 
@@ -149,16 +153,19 @@ impl HeadPolicy {
     /// alone reclaim extends it.
     #[inline]
     pub fn record_reclaim(&self, shared: bool) {
+        // ordering: relaxed heuristic counter (see `adaptive_promoted`);
+        // racing observers can at worst miscount the streak by one.
         if shared {
             self.alone_streak.store(0, Ordering::Relaxed);
         } else {
-            self.alone_streak.fetch_add(1, Ordering::Relaxed);
+            self.alone_streak.fetch_add(1, Ordering::Relaxed); // ordering: see above.
         }
     }
 
     /// Reset the alone-reclaim streak (promotion starts a fresh run).
     #[inline]
     pub fn reset_alone_streak(&self) {
+        // ordering: relaxed heuristic counter (see `adaptive_promoted`).
         self.alone_streak.store(0, Ordering::Relaxed);
     }
 }

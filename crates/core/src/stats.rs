@@ -112,6 +112,8 @@ macro_rules! bump {
         #[doc = concat!("Increment the `", stringify!($field), "` counter.")]
         #[inline]
         pub fn $name(&self) {
+            // ordering: monotonic statistics counter; readers tolerate
+            // staleness and no other memory is published through it.
             self.$field.fetch_add(1, Ordering::Relaxed);
         }
     };
@@ -128,8 +130,10 @@ macro_rules! bump_scoped {
         /// Increment the counter, attributing it to policy scope `scope`.
         #[inline]
         pub fn $name(&self, scope: u16) {
+            // ordering: monotonic statistics counter (see `bump!`).
             self.$field.fetch_add(1, Ordering::Relaxed);
             if let Some(s) = self.scope_counters.get(scope as usize) {
+                // ordering: per-scope shadow of the same counter.
                 s.$scope_field.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -213,8 +217,10 @@ impl LockStats {
     /// bypassed the head latch.
     #[inline]
     pub fn on_ancestor_acquire(&self, bypassed: bool) {
+        // ordering: monotonic statistics counter (see `bump!`).
         self.ancestor_acquires.fetch_add(1, Ordering::Relaxed);
         if bypassed {
+            // ordering: monotonic statistics counter (see `bump!`).
             self.ancestor_bypassed.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -222,6 +228,7 @@ impl LockStats {
     /// Record one lock in the Figure 8 census.
     #[inline]
     pub fn on_census(&self, class: LockClass) {
+        // ordering: monotonic statistics counter (see `bump!`).
         self.census_total.fetch_add(1, Ordering::Relaxed);
         let slot = match class {
             LockClass::HotHeritable => &self.census_hot_heritable,
@@ -229,11 +236,15 @@ impl LockStats {
             LockClass::ColdRow => &self.census_cold_row,
             LockClass::ColdHigh => &self.census_cold_high,
         };
+        // ordering: monotonic statistics counter (see `bump!`).
         slot.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> LockStatsSnapshot {
+        // ordering: relaxed loads throughout — the snapshot is advisory
+        // reporting; counters are independent and a torn cross-counter
+        // view is acceptable (each is individually monotone).
         LockStatsSnapshot {
             scopes: self.scope_counters[..self.n_scopes]
                 .iter()

@@ -68,6 +68,13 @@
 //! fast counters to be zero, so head removal cannot race a fast grant: the
 //! CAS linearizes against the grant's counter increment on the same word.
 
+// Under the `sli_check` feature the grant word runs on the model checker's
+// shimmed atomic, turning every fast-path CAS / fetch_op into a schedule
+// point so the WAIT-barrier and ZOMBIE protocols can be exhaustively
+// checked (see `crates/check`). Production builds keep the plain std type.
+#[cfg(feature = "sli_check")]
+use sli_check::sync::{AtomicU64, Ordering};
+#[cfg(not(feature = "sli_check"))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::mode::LockMode;
@@ -183,6 +190,8 @@ impl GrantWord {
 
     #[inline]
     fn load(&self) -> u64 {
+        // ordering: acquire pairs with the AcqRel RMWs below so a decoded
+        // snapshot observes everything published before the flags it sees.
         self.0.load(Ordering::Acquire)
     }
 
@@ -246,6 +255,7 @@ impl GrantWord {
     pub fn try_fast_acquire(&self, group_idx: usize, retry_budget: u32) -> FastAcquire {
         let inc = 1u64 << shift(group_idx);
         let blockers = FALLBACK_MASK | conflict_mask(group_idx);
+        // ordering: relaxed — just a CAS seed; the CAS below synchronizes.
         let mut w = self.0.load(Ordering::Relaxed);
         let mut retries = 0;
         loop {
@@ -256,6 +266,9 @@ impl GrantWord {
                 return FastAcquire::Conflict;
             }
             debug_assert!(count(w, group_idx) < COUNTER_MASK, "fast counter overflow");
+            // ordering: AcqRel — success must happen-before a conflicting
+            // latched claim, and acquire the writes behind the flags we
+            // validated; acquire on failure reloads a coherent word.
             match self
                 .0
                 .compare_exchange_weak(w, w + inc, Ordering::AcqRel, Ordering::Acquire)
@@ -278,6 +291,9 @@ impl GrantWord {
     #[inline]
     pub fn fast_release(&self, group_idx: usize) -> bool {
         let dec = 1u64 << shift(group_idx);
+        // ordering: AcqRel — release so our critical section happens-before
+        // whoever observes the decrement; acquire so reading FLAG_WAIT also
+        // reads the scanner's writes (the wakeup-obligation handoff).
         let prev = self.0.fetch_sub(dec, Ordering::AcqRel);
         debug_assert!(count(prev, group_idx) > 0, "fast counter underflow");
         prev & FLAG_WAIT != 0
@@ -291,6 +307,9 @@ impl GrantWord {
     /// real waiters remain. Caller holds the head latch.
     #[inline]
     pub fn begin_scan(&self) {
+        // ordering: AcqRel — the barrier must be visible to every later
+        // fast_release (no lost wakeup) and must observe prior releases so
+        // the scan sees up-to-date fast counters.
         self.0.fetch_or(FLAG_WAIT, Ordering::AcqRel);
     }
 
@@ -318,6 +337,9 @@ impl GrantWord {
             ),
             LockMode::NL => return true,
         };
+        // ordering: AcqRel — the claim linearizes against fast-acquire
+        // CASes: either we see their counter (and refuse) or they see our
+        // flag (and conflict); acquire on failure for the retry load.
         self.0
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
                 if w & need_zero != 0 {
@@ -348,6 +370,9 @@ impl GrantWord {
             set |= FLAG_WAIT;
         }
         let clear = FLAG_Q_IX | FLAG_Q_S | FLAG_EXCL | FLAG_WAIT;
+        // ordering: AcqRel — publishing the new queue summary must
+        // happen-after the grant pass's writes and be visible to the next
+        // fast acquirer that reads the cleared flags.
         let _ = self
             .0
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
@@ -363,6 +388,8 @@ impl GrantWord {
     /// diverts fast traffic to the latched path, never the reverse).
     #[inline]
     pub fn inc_inherited(&self) {
+        // ordering: AcqRel — the conservative overcount must be visible
+        // before the status CAS it brackets (program order on this word).
         let prev = self.0.fetch_add(INH_ONE, Ordering::AcqRel);
         debug_assert!(
             (prev >> INH_SHIFT) & INH_MASK < INH_MASK,
@@ -375,6 +402,8 @@ impl GrantWord {
     /// [`GrantWord::inc_inherited`].
     #[inline]
     pub fn dec_inherited(&self) {
+        // ordering: AcqRel — pairs with `inc_inherited`; the decrement
+        // releases the reclaim/invalidate outcome to snapshot readers.
         let prev = self.0.fetch_sub(INH_ONE, Ordering::AcqRel);
         debug_assert!(
             (prev >> INH_SHIFT) & INH_MASK > 0,
@@ -391,6 +420,8 @@ impl GrantWord {
     pub fn try_retire(&self) -> bool {
         let fast =
             (COUNTER_MASK << IS_SHIFT) | (COUNTER_MASK << IX_SHIFT) | (COUNTER_MASK << S_SHIFT);
+        // ordering: AcqRel — the ZOMBIE CAS linearizes against fast-acquire
+        // increments (see doc comment); acquire on failure for the retry.
         self.0
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
                 if w & (fast | FLAG_ZOMBIE) != 0 {

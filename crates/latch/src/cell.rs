@@ -19,6 +19,7 @@ pub struct Latched<T> {
 
 // SAFETY: access to `value` is serialized by `latch`.
 unsafe impl<T: Send> Send for Latched<T> {}
+// SAFETY: shared references only hand out `value` under the latch.
 unsafe impl<T: Send> Sync for Latched<T> {}
 
 impl<T> Latched<T> {

@@ -29,9 +29,11 @@ impl LatchStats {
     /// Record one acquisition and whether it contended.
     #[inline]
     pub fn record(&self, contended: bool) {
+        // ordering: monotonic statistics counters; readers tolerate
+        // staleness and nothing is published through them.
         self.acquires.fetch_add(1, Ordering::Relaxed);
         if contended {
-            self.contended.fetch_add(1, Ordering::Relaxed);
+            self.contended.fetch_add(1, Ordering::Relaxed); // ordering: see above.
         }
     }
 
@@ -40,31 +42,36 @@ impl LatchStats {
     /// attribution (spinning burns the core; parking cedes it).
     #[inline]
     pub fn record_wait(&self, spins: u32, parks: u32) {
+        // ordering: statistics counters (see `record`).
         if spins > 0 {
-            self.spins.fetch_add(u64::from(spins), Ordering::Relaxed);
+            self.spins.fetch_add(u64::from(spins), Ordering::Relaxed); // ordering: see above.
         }
         if parks > 0 {
-            self.parks.fetch_add(u64::from(parks), Ordering::Relaxed);
+            self.parks.fetch_add(u64::from(parks), Ordering::Relaxed); // ordering: see above.
         }
     }
 
     /// Total acquisitions.
     pub fn acquires(&self) -> u64 {
+        // ordering: advisory read of a statistics counter.
         self.acquires.load(Ordering::Relaxed)
     }
 
     /// Acquisitions that hit the contended path.
     pub fn contended(&self) -> u64 {
+        // ordering: advisory read of a statistics counter.
         self.contended.load(Ordering::Relaxed)
     }
 
     /// Spin iterations burned by contended acquisitions.
     pub fn spins(&self) -> u64 {
+        // ordering: advisory read of a statistics counter.
         self.spins.load(Ordering::Relaxed)
     }
 
     /// Thread parks performed by contended acquisitions.
     pub fn parks(&self) -> u64 {
+        // ordering: advisory read of a statistics counter.
         self.parks.load(Ordering::Relaxed)
     }
 

@@ -106,6 +106,8 @@ impl BufferPool {
         let _work = sli_profiler::enter(Category::Work(Component::BufferPool));
         if self.config.frames == usize::MAX {
             // Fully resident configuration: pure accounting.
+            // ordering: monotonic statistics counter; nothing is published
+            // through it.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -129,6 +131,7 @@ impl BufferPool {
                             inner.frames.remove(&victim);
                             inner.clock[hand] = key;
                             inner.hand = (hand + 1) % inner.clock.len();
+                            // ordering: statistics counter (see above).
                             self.evictions.fetch_add(1, Ordering::Relaxed);
                             break;
                         }
@@ -141,12 +144,16 @@ impl BufferPool {
             }
         };
         if miss {
+            // ordering: statistics counter (see above).
             self.misses.fetch_add(1, Ordering::Relaxed);
             if !self.config.io_latency.is_zero() {
                 let _io = sli_profiler::enter(Category::IoWait);
+                // Simulated disk-read latency for the paper's experiments,
+                // not a wait on another thread. sli-lint: allow(sleep)
                 std::thread::sleep(self.config.io_latency);
             }
         } else {
+            // ordering: statistics counter (see above).
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -166,6 +173,8 @@ impl BufferPool {
 
     /// Counter snapshot.
     pub fn stats(&self) -> BufferPoolStats {
+        // ordering: relaxed loads — advisory snapshot of independent
+        // counters.
         BufferPoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

@@ -40,20 +40,26 @@ impl HeapTable {
 
     /// Number of live records.
     pub fn record_count(&self) -> u32 {
+        // ordering: advisory count; exactness only matters in quiescent
+        // tests, where joins order the memory.
         self.live_records.load(Ordering::Relaxed)
     }
 
     /// Insert a record, returning its RID.
     pub fn insert(&self, data: Bytes) -> Rid {
         loop {
+            // ordering: the hint is a best-effort scan cursor — a stale
+            // value only costs a longer scan, never correctness.
             let hint = self.insert_hint.load(Ordering::Relaxed);
             {
                 let dir = self.dir.read();
                 for (i, page) in dir.iter().enumerate().skip(hint as usize) {
                     let mut p = page.lock();
                     if let Some(slot) = p.insert(data.clone()) {
+                        // ordering: advisory counter and hint (see above).
                         self.live_records.fetch_add(1, Ordering::Relaxed);
                         if p.is_full() {
+                            // ordering: advisory hint (see above).
                             self.insert_hint.fetch_max(i as u32 + 1, Ordering::Relaxed);
                         }
                         return Rid::new(i as u32, slot);
@@ -76,9 +82,10 @@ impl HeapTable {
         let dir = self.dir.read();
         let mut p = dir[rid.page as usize].lock();
         p.restore(rid.slot, data);
+        // ordering: advisory counter and hint (see `insert`).
         self.live_records.fetch_add(1, Ordering::Relaxed);
         drop(p);
-        self.insert_hint.fetch_min(rid.page, Ordering::Relaxed);
+        self.insert_hint.fetch_min(rid.page, Ordering::Relaxed); // ordering: see above.
     }
 
     /// Read the record at `rid`.
@@ -104,8 +111,9 @@ impl HeapTable {
         let mut p = page.lock();
         let before = p.delete(rid.slot)?;
         drop(p);
+        // ordering: advisory counter and hint (see `insert`).
         self.live_records.fetch_sub(1, Ordering::Relaxed);
-        self.insert_hint.fetch_min(rid.page, Ordering::Relaxed);
+        self.insert_hint.fetch_min(rid.page, Ordering::Relaxed); // ordering: see above.
         Some(before)
     }
 

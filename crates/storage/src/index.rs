@@ -28,6 +28,8 @@ struct Shard<T> {
 
 // SAFETY: `map` is only accessed under `latch`.
 unsafe impl<T: Send> Send for Shard<T> {}
+// SAFETY: shared references only touch `map` under `latch` (readers take
+// the shared side, writers the exclusive side).
 unsafe impl<T: Send> Sync for Shard<T> {}
 
 impl<T: Default> Shard<T> {

@@ -72,6 +72,8 @@ impl LogManager {
     /// durability.
     pub fn append(&self, rec: LogRecord) -> Lsn {
         let _work = sli_profiler::enter(Category::Work(Component::LogManager));
+        // ordering: monotonic statistics counter; nothing is published
+        // through it.
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.buffer.append(&rec)
     }
@@ -81,6 +83,7 @@ impl LogManager {
     /// our LSN instead of issuing another.
     pub fn commit(&self, _txn: u64, lsn: Lsn) {
         let _work = sli_profiler::enter(Category::Work(Component::LogManager));
+        // ordering: monotonic statistics counter (see `append`).
         self.commits.fetch_add(1, Ordering::Relaxed);
         if self.durable_lsn() >= lsn {
             return;
@@ -97,14 +100,20 @@ impl LogManager {
         // and ride the next batch together.
         let (batch, upto) = self.buffer.drain();
         debug_assert!(upto >= lsn, "drained log must cover our commit record");
+        // ordering: monotonic statistics counters (see `append`).
         self.flushes.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(batch.len() as u64, Ordering::Relaxed); // ordering: see above.
         if !self.config.flush_latency.is_zero() {
             let _io = sli_profiler::enter(Category::IoWait);
+            // Simulated log-device flush time for the paper's group-commit
+            // model, not a wait on another thread. sli-lint: allow(sleep)
             std::thread::sleep(self.config.flush_latency);
         }
         // `batch` is dropped here: the simulated device has no persistent
         // medium. The LSN watermark is the durability contract.
+        // ordering: AcqRel — the release half publishes the flushed batch
+        // to `durable_lsn` readers; acquire orders against a concurrent
+        // committer's fetch_max of a later watermark.
         self.durable.fetch_max(upto, Ordering::AcqRel);
         self.flush_cv.notify_all();
     }
@@ -116,11 +125,15 @@ impl LogManager {
 
     /// Highest durable LSN.
     pub fn durable_lsn(&self) -> Lsn {
+        // ordering: acquire pairs with the fetch_max in `commit` so an
+        // observed watermark implies the records below it were flushed.
         self.durable.load(Ordering::Acquire)
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> LogStats {
+        // ordering: relaxed loads — the snapshot is advisory reporting and
+        // each counter is independent.
         LogStats {
             appends: self.appends.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),

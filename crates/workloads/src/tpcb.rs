@@ -95,6 +95,8 @@ impl TpcB {
         let account = (account_branch - 1) * self.accounts_per_branch
             + rng.gen_range(1..=self.accounts_per_branch);
         let delta = rng.gen_range(-99_999i64..=99_999);
+        // ordering: relaxed — a pure id allocator; uniqueness comes from
+        // the atomic RMW.
         let hid = self
             .history_seq
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)

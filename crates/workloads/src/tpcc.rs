@@ -381,6 +381,8 @@ impl TpcC {
         let (w, d) = self.rand_wd(rng);
         let c = rng.gen_range(1..=self.scale.customers_per_district);
         let amount = rng.gen_range(100..500_000i64);
+        // ordering: relaxed — a pure id allocator; uniqueness comes from
+        // the atomic RMW.
         let hid = self.history_seq.fetch_add(1, Ordering::Relaxed) + 1;
         Outcome::from_result(s.run(|txn| {
             txn.update_by_key(self.t.warehouse, w, |old| {

@@ -17,11 +17,14 @@
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 pub mod parking;
+pub(crate) mod shim;
+
+use shim::{AtomicU8, AtomicUsize};
 
 use parking::{ParkResult, ParkingStats, TOKEN_HANDOFF, TOKEN_NORMAL};
 
@@ -160,6 +163,9 @@ impl RawMutex {
     /// waited. The uncontended path performs a single CAS.
     #[inline]
     pub fn lock_profiled(&self) -> WaitProfile {
+        // ordering: acquire on success pairs with the release in `unlock`
+        // so the critical section sees the previous holder's writes;
+        // relaxed on failure — we fall to the slow path and reload.
         if self
             .state
             .compare_exchange_weak(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
@@ -176,8 +182,12 @@ impl RawMutex {
         let mut spins = 0u32;
         let limit = spin_limit();
         loop {
+            // ordering: relaxed — just a CAS seed; the acquire CAS below is
+            // what synchronizes on success.
             let s = self.state.load(Ordering::Relaxed);
             if s & LOCKED == 0 {
+                // ordering: acquire pairs with `unlock`'s release (see the
+                // fast path above).
                 if self
                     .state
                     .compare_exchange_weak(s, s | LOCKED, Ordering::Acquire, Ordering::Relaxed)
@@ -198,6 +208,8 @@ impl RawMutex {
                     profile.spins += 1;
                     continue;
                 }
+                // ordering: relaxed — setting PARKED publishes nothing; the
+                // park validate re-reads state under the bucket lock.
                 if self
                     .state
                     .compare_exchange_weak(s, s | PARKED, Ordering::Relaxed, Ordering::Relaxed)
@@ -208,6 +220,8 @@ impl RawMutex {
             }
             let r = parking::park(
                 self.addr(),
+                // ordering: relaxed — the bucket lock inside `park` orders
+                // this validate against the unparker's state update.
                 || self.state.load(Ordering::Relaxed) == LOCKED | PARKED,
                 || {},
                 // Safety-net deadline, NOT a poll: wakeups arrive directed
@@ -218,7 +232,7 @@ impl RawMutex {
                 // multiple scheduler timeslices (tens of ms observed). The
                 // deadline bounds that pathology; it is 20× coarser than
                 // the old 50 µs sleep-poll and fires only in that window.
-                Some(Instant::now() + SAFETY_NET),
+                Some(shim::now() + SAFETY_NET),
             );
             if r != ParkResult::Invalid {
                 // Unparked or safety-net timeout: the thread really slept.
@@ -237,6 +251,10 @@ impl RawMutex {
     }
 }
 
+// SAFETY: mutual exclusion holds because LOCKED is only ever set by a
+// successful CAS from a state with LOCKED clear, and only cleared by the
+// holder's unlock (directly, or via a handoff that keeps it set on the
+// woken thread's behalf).
 unsafe impl lock_api::RawMutex for RawMutex {
     const INIT: RawMutex = RawMutex {
         state: AtomicU8::new(0),
@@ -249,7 +267,10 @@ unsafe impl lock_api::RawMutex for RawMutex {
 
     #[inline]
     fn try_lock(&self) -> bool {
+        // ordering: relaxed seed load; the CAS below synchronizes.
         let s = self.state.load(Ordering::Relaxed);
+        // ordering: acquire CAS pairs with `unlock`'s release; relaxed
+        // failure just reports busy.
         s & LOCKED == 0
             && self
                 .state
@@ -258,7 +279,11 @@ unsafe impl lock_api::RawMutex for RawMutex {
     }
 
     #[inline]
+    // SAFETY: contract — only the current holder may call this (lock_api).
     unsafe fn unlock(&self) {
+        // ordering: release publishes the critical section to the next
+        // acquire CAS; failure means PARKED is set and the slow path
+        // re-synchronizes under the bucket lock.
         if self
             .state
             .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
@@ -282,10 +307,14 @@ impl RawMutex {
         parking::unpark_one(self.addr(), |r| {
             if r.unparked && r.be_fair {
                 let next = LOCKED | if r.have_more { PARKED } else { 0 };
+                // ordering: release — the handoff transfers the critical
+                // section directly to the woken thread.
                 self.state.store(next, Ordering::Release);
                 TOKEN_HANDOFF
             } else {
                 let next = if r.unparked && r.have_more { PARKED } else { 0 };
+                // ordering: release publishes the critical section to the
+                // next acquirer (woken or barging).
                 self.state.store(next, Ordering::Release);
                 TOKEN_NORMAL
             }
@@ -369,7 +398,7 @@ impl RawRwLock {
                 },
                 || {},
                 // Same pending-wake safety net as RawMutex::lock_slow.
-                Some(Instant::now() + SAFETY_NET),
+                Some(shim::now() + SAFETY_NET),
             );
             if r != ParkResult::Invalid {
                 // Unparked or safety-net timeout: the thread really slept.
@@ -382,6 +411,9 @@ impl RawRwLock {
     /// Profiled exclusive acquisition.
     #[inline]
     pub fn lock_exclusive_profiled(&self) -> WaitProfile {
+        // ordering: acquire pairs with the unlock stores so the writer
+        // sees all prior holders' effects; relaxed failure falls to the
+        // slow path.
         if self
             .state
             .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
@@ -399,6 +431,8 @@ impl RawRwLock {
         let mut spins = 0u32;
         let limit = spin_limit();
         loop {
+            // ordering: acquire on success (see the fast path); relaxed
+            // failure reloads below.
             if self
                 .state
                 .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
@@ -419,7 +453,7 @@ impl RawRwLock {
                 || self.state.load(Ordering::SeqCst) != 0,
                 || {},
                 // Same pending-wake safety net as RawMutex::lock_slow.
-                Some(Instant::now() + SAFETY_NET),
+                Some(shim::now() + SAFETY_NET),
             );
             if r != ParkResult::Invalid {
                 // Unparked or safety-net timeout: the thread really slept.
@@ -430,6 +464,9 @@ impl RawRwLock {
     }
 }
 
+// SAFETY: shared/exclusive semantics hold because WRITER is only set by a
+// CAS from 0 (no holders), shared counts only increment by CAS from a
+// non-WRITER state, and each holder decrements/clears exactly what it set.
 unsafe impl lock_api::RawRwLock for RawRwLock {
     const INIT: RawRwLock = RawRwLock {
         state: AtomicUsize::new(0),
@@ -443,7 +480,11 @@ unsafe impl lock_api::RawRwLock for RawRwLock {
 
     #[inline]
     fn try_lock_shared(&self) -> bool {
+        // ordering: relaxed seed load; acquire CAS pairs with the writer's
+        // unlock store so readers see its writes, relaxed failure retries.
         let cur = self.state.load(Ordering::Relaxed);
+        // ordering: acquire CAS pairs with the writer's unlock store so
+        // readers see its writes; relaxed failure just reports busy.
         cur != WRITER
             && self
                 .state
@@ -452,6 +493,7 @@ unsafe impl lock_api::RawRwLock for RawRwLock {
     }
 
     #[inline]
+    // SAFETY: contract — only a current shared holder may call this.
     unsafe fn unlock_shared(&self) {
         if self.state.fetch_sub(1, Ordering::SeqCst) == 1
             && self.pending_writers.load(Ordering::SeqCst) > 0
@@ -468,12 +510,15 @@ unsafe impl lock_api::RawRwLock for RawRwLock {
 
     #[inline]
     fn try_lock_exclusive(&self) -> bool {
+        // ordering: acquire on success (see `lock_exclusive`); relaxed
+        // failure just reports busy.
         self.state
             .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
     }
 
     #[inline]
+    // SAFETY: contract — only the current exclusive holder may call this.
     unsafe fn unlock_exclusive(&self) {
         self.state.store(0, Ordering::SeqCst);
         if self.pending_writers.load(Ordering::SeqCst) > 0 {
@@ -500,6 +545,7 @@ pub struct Mutex<T: ?Sized> {
 
 // SAFETY: the raw mutex serializes access to `data`.
 unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: shared references only reach `data` through a held guard.
 unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
@@ -645,7 +691,7 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let mutex = guard.mutex;
-        let deadline = Instant::now().checked_add(timeout);
+        let deadline = shim::now().checked_add(timeout);
         let r = parking::park(
             self.addr(),
             || true,
@@ -688,6 +734,8 @@ pub struct RwLock<T: ?Sized> {
 // SAFETY: the raw rwlock serializes access to `data` (shared readers only
 // get `&T`).
 unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: concurrent readers see `&T` only (hence the `Sync` bound on T);
+// writers are exclusive via the raw lock.
 unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
@@ -810,14 +858,17 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize};
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn raw_mutex_excludes() {
         let m = RawMutex::INIT;
         assert!(m.try_lock());
         assert!(!m.try_lock());
+        // SAFETY: this thread acquired the lock just above.
         unsafe { m.unlock() };
         assert!(m.try_lock());
+        // SAFETY: reacquired on the previous line.
         unsafe { m.unlock() };
     }
 
@@ -827,10 +878,13 @@ mod tests {
         assert!(l.try_lock_shared());
         assert!(l.try_lock_shared());
         assert!(!l.try_lock_exclusive());
+        // SAFETY: two shared acquisitions succeeded above; release both.
         unsafe { l.unlock_shared() };
+        // SAFETY: as above — this thread holds the second shared lock.
         unsafe { l.unlock_shared() };
         assert!(l.try_lock_exclusive());
         assert!(!l.try_lock_shared());
+        // SAFETY: the exclusive acquisition succeeded two lines up.
         unsafe { l.unlock_exclusive() };
     }
 

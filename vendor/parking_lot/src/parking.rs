@@ -23,9 +23,10 @@
 //! spin-then-`sleep(50µs)` backoff could only notice a release when its
 //! own timer fired.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::shim;
+use crate::shim::{AtomicBool, AtomicUsize, Thread};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::Thread;
 use std::time::Instant;
 
 /// The default token delivered by wakes that carry no special meaning.
@@ -85,7 +86,7 @@ struct ParkSlot {
 
 thread_local! {
     static SLOT: Arc<ParkSlot> = Arc::new(ParkSlot {
-        thread: std::thread::current(),
+        thread: shim::current(),
         token: AtomicUsize::new(TOKEN_NORMAL),
         notified: AtomicBool::new(false),
     });
@@ -125,15 +126,15 @@ struct BucketInner {
 /// circularity.)
 #[repr(align(128))]
 struct Bucket {
-    inner: std::sync::Mutex<BucketInner>,
+    inner: shim::Mutex<BucketInner>,
 }
 
-struct BucketGuard<'a>(std::sync::MutexGuard<'a, BucketInner>);
+struct BucketGuard<'a>(shim::MutexGuard<'a, BucketInner>);
 
 impl Bucket {
     const fn new() -> Self {
         Bucket {
-            inner: std::sync::Mutex::new(BucketInner {
+            inner: shim::Mutex::new(BucketInner {
                 queue: Vec::new(),
                 next_fair: None,
             }),
@@ -141,7 +142,7 @@ impl Bucket {
     }
 
     fn lock(&self) -> BucketGuard<'_> {
-        BucketGuard(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+        BucketGuard(self.inner.lock())
     }
 }
 
@@ -153,7 +154,10 @@ impl BucketGuard<'_> {
     /// Whether this wake should be a fair handoff, advancing the bucket's
     /// fairness timer when it fires.
     fn take_fairness(&mut self) -> bool {
-        let now = Instant::now();
+        if !shim::fair_wakes() {
+            return false;
+        }
+        let now = shim::now();
         match self.0.next_fair {
             Some(t) if now < t => false,
             _ => {
@@ -196,6 +200,7 @@ static SPINS: AtomicU64 = AtomicU64::new(0);
 /// busy half of a contended wait, against `parks`' descheduled half).
 pub(crate) fn note_spins(n: u64) {
     if n > 0 {
+        // ordering: monotonic statistics counter.
         SPINS.fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -227,6 +232,8 @@ impl ParkingStats {
 
 /// Snapshot the global park/unpark counters.
 pub fn stats() -> ParkingStats {
+    // ordering: relaxed loads — advisory snapshot of independent
+    // statistics counters.
     ParkingStats {
         parks: PARKS.load(Ordering::Relaxed),
         unparks: UNPARKS.load(Ordering::Relaxed),
@@ -249,8 +256,10 @@ pub fn park(
     deadline: Option<Instant>,
 ) -> ParkResult {
     let slot = SLOT.with(Arc::clone);
+    // ordering: relaxed — the slot is re-armed before we enqueue under the
+    // bucket lock; that lock orders these stores against any waker.
     slot.notified.store(false, Ordering::Relaxed);
-    slot.token.store(TOKEN_NORMAL, Ordering::Relaxed);
+    slot.token.store(TOKEN_NORMAL, Ordering::Relaxed); // ordering: see above.
     let bucket = bucket_for(addr);
     {
         let mut guard = bucket.lock();
@@ -262,13 +271,23 @@ pub fn park(
             slot: Arc::clone(&slot),
         });
     }
+    // Under the model checker a failing execution tears threads down by
+    // unwinding them out of `shim::park`; this guard dequeues the stale
+    // waiter so the process-global bucket never keeps a pointer to a slot
+    // whose thread is gone. Production threads never unwind out of park.
+    #[cfg(feature = "sli_check")]
+    let _unwind_cleanup = UnwindCleanup {
+        bucket,
+        slot: &slot,
+        addr,
+    };
     before_sleep();
-    PARKS.fetch_add(1, Ordering::Relaxed);
+    PARKS.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter.
     loop {
         match deadline {
-            None => std::thread::park(),
+            None => shim::park(),
             Some(d) => {
-                let now = Instant::now();
+                let now = shim::now();
                 if now >= d {
                     // Deadline passed: dequeue ourselves, unless a waker got
                     // there first (then the wakeup is ours to consume).
@@ -279,29 +298,62 @@ pub fn park(
                         .position(|w| Arc::ptr_eq(&w.slot, &slot) && w.addr == addr)
                     {
                         q.remove(pos);
+                        // ordering: statistics counter.
                         PARK_TIMEOUTS.fetch_add(1, Ordering::Relaxed);
                         return ParkResult::TimedOut;
                     }
                     drop(guard);
+                    // ordering: acquire pairs with `wake`'s release store
+                    // of `notified`, which follows the token store — so the
+                    // token read below is the waker's.
                     while !slot.notified.load(Ordering::Acquire) {
-                        std::thread::park();
+                        shim::park();
                     }
+                    // ordering: see above.
                     return ParkResult::Unparked(slot.token.load(Ordering::Acquire));
                 }
-                std::thread::park_timeout(d - now);
+                shim::park_timeout(d - now);
             }
         }
+        // ordering: acquire pairs with `wake`'s release (see above).
         if slot.notified.load(Ordering::Acquire) {
-            return ParkResult::Unparked(slot.token.load(Ordering::Acquire));
+            return ParkResult::Unparked(slot.token.load(Ordering::Acquire)); // ordering: see above.
         }
         // Spurious wakeup (or a stale token from an earlier race): re-sleep.
     }
 }
 
+/// Removes this thread's queue entry if it unwinds while parked (model
+/// checker teardown only; see the construction site in [`park`]).
+#[cfg(feature = "sli_check")]
+struct UnwindCleanup<'a> {
+    bucket: &'static Bucket,
+    slot: &'a Arc<ParkSlot>,
+    addr: usize,
+}
+
+#[cfg(feature = "sli_check")]
+impl Drop for UnwindCleanup<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let mut guard = self.bucket.lock();
+            let q = guard.queue();
+            if let Some(pos) = q
+                .iter()
+                .position(|w| Arc::ptr_eq(&w.slot, self.slot) && w.addr == self.addr)
+            {
+                q.remove(pos);
+            }
+        }
+    }
+}
+
 fn wake(w: Waiter, token: usize) {
-    UNPARKS.fetch_add(1, Ordering::Relaxed);
+    UNPARKS.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter.
+                                             // ordering: release the token, then release `notified` — the parker's
+                                             // acquire of `notified` therefore also observes the token.
     w.slot.token.store(token, Ordering::Release);
-    w.slot.notified.store(true, Ordering::Release);
+    w.slot.notified.store(true, Ordering::Release); // ordering: see above.
     w.slot.thread.unpark();
 }
 

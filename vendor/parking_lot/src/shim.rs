@@ -1,0 +1,63 @@
+//! Facade over the sync/thread/time primitives this crate is built on.
+//!
+//! With the `sli_check` feature off (every production build) these are
+//! plain `std` types — the passthrough below compiles to exactly the code
+//! that was here before the facade existed. With the feature on they come
+//! from the `sli-check` model checker, which turns every operation into a
+//! deterministic schedule point so the parker and raw-lock protocols can
+//! be exhaustively checked over thread interleavings.
+
+#[cfg(feature = "sli_check")]
+pub(crate) use sli_check::sync::{AtomicBool, AtomicU8, AtomicUsize, Mutex, MutexGuard};
+#[cfg(feature = "sli_check")]
+pub(crate) use sli_check::thread::{current, park, park_timeout, Thread};
+
+/// The current time: logical under an active model, real otherwise.
+#[cfg(feature = "sli_check")]
+pub(crate) fn now() -> std::time::Instant {
+    sli_check::time::now()
+}
+
+/// Whether wall-clock fairness heuristics may run (never under a model —
+/// they are nondeterministic and mutate global bucket state).
+#[cfg(feature = "sli_check")]
+pub(crate) fn fair_wakes() -> bool {
+    sli_check::time::fair_wakes()
+}
+
+#[cfg(not(feature = "sli_check"))]
+mod passthrough {
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize};
+    pub(crate) use std::thread::{current, park, park_timeout, Thread};
+
+    /// Non-poisoning `const`-constructible mutex, API-matched to the
+    /// sli-check shim so call sites are identical under both cfgs.
+    pub(crate) struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    pub(crate) type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub(crate) const fn new(t: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(t),
+            }
+        }
+
+        pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    pub(crate) fn now() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+
+    pub(crate) fn fair_wakes() -> bool {
+        true
+    }
+}
+
+#[cfg(not(feature = "sli_check"))]
+pub(crate) use passthrough::*;
