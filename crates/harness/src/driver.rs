@@ -1,4 +1,14 @@
 //! Closed-loop workload driver with profiler collection.
+//!
+//! Since the traffic subsystem landed, the closed-loop driver is a thin
+//! front-end over the same windowed-telemetry and artifact layer the
+//! open-loop driver uses (`sli_traffic`): each agent records every
+//! measured completion into a per-thread [`sli_traffic::Recorder`], so
+//! a closed-loop run yields the same per-window trajectory
+//! (throughput, abort breakdown, latency quantiles) and can emit the
+//! same `BENCH_*.json` artifact as an open-loop storm. The legacy
+//! aggregate counters (profiler tallies, lock-manager and parking
+//! deltas) ride alongside unchanged.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Barrier};
@@ -8,6 +18,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sli_engine::Database;
 use sli_profiler::{Report, Tally};
+use sli_traffic::{BenchArtifact, Hist, Summary, Telemetry, TxnOutcome, WindowStats};
 use sli_workloads::{MixedWorkload, Outcome};
 
 /// Phases broadcast from the coordinator to the agents.
@@ -39,6 +50,15 @@ impl Default for RunConfig {
     }
 }
 
+impl RunConfig {
+    /// Telemetry window length for this run: an eighth of the measured
+    /// phase, clamped to [10ms, 1s] — smoke runs still get several
+    /// windows, long runs get the canonical one-second grid.
+    fn window_ns(&self) -> u64 {
+        ((self.measure.as_nanos() as u64) / 8).clamp(10_000_000, 1_000_000_000)
+    }
+}
+
 /// Collected results of one run.
 #[derive(Debug)]
 pub struct RunResult {
@@ -63,6 +83,13 @@ pub struct RunResult {
     pub park_delta: sli_latch::ParkingStats,
     /// Agents used.
     pub agents: usize,
+    /// Per-window trajectory over the measured phase (same shape the
+    /// open-loop driver produces; `offered`/`shed`/`depth` are zero for
+    /// a closed loop).
+    pub windows: Vec<WindowStats>,
+    /// Whole-run summary with latency quantiles, mirroring the counter
+    /// fields above.
+    pub summary: Summary,
 }
 
 impl RunResult {
@@ -70,6 +97,25 @@ impl RunResult {
     /// fractions of cpu time.
     pub fn lockmgr_fractions(&self) -> (f64, f64) {
         self.report.lockmgr_overhead_and_contention()
+    }
+
+    /// Package this run as a benchmark artifact (closed-loop mode).
+    /// Callers append run-specific config pairs and `.emit()` it.
+    pub fn bench_artifact(
+        &self,
+        experiment: &str,
+        workload: &str,
+        mut config: Vec<(String, String)>,
+    ) -> BenchArtifact {
+        config.push(("agents".into(), self.agents.to_string()));
+        BenchArtifact {
+            experiment: experiment.to_string(),
+            workload: workload.to_string(),
+            mode: "closed-loop".into(),
+            config,
+            windows: self.windows.clone(),
+            summary: self.summary.clone(),
+        }
     }
 }
 
@@ -80,16 +126,27 @@ struct AgentOutcome {
     tally: Tally,
 }
 
+fn txn_outcome(o: Outcome) -> TxnOutcome {
+    match o {
+        Outcome::Commit => TxnOutcome::Commit,
+        Outcome::UserFail => TxnOutcome::UserFail,
+        Outcome::SysAbort => TxnOutcome::SysAbort,
+    }
+}
+
 /// Run `mix` against `db` under `cfg` and collect throughput + breakdowns.
 pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) -> RunResult {
     let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
     let start_barrier = Arc::new(Barrier::new(cfg.agents + 1));
+    let telemetry = Telemetry::new(cfg.window_ns());
+    let epoch = Instant::now();
 
-    let (results, wall, lock_delta, park_delta) = std::thread::scope(|scope| {
+    let (results, wall, measure_start_ns, lock_delta, park_delta) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.agents);
         for a in 0..cfg.agents {
             let phase = Arc::clone(&phase);
             let barrier = Arc::clone(&start_barrier);
+            let mut rec = telemetry.recorder();
             let seed = cfg.seed ^ (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             handles.push(scope.spawn(move || {
                 let session = db.session();
@@ -112,12 +169,24 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
                         }
                         _ => {}
                     }
-                    match mix.run_one(&session, &mut rng).1 {
+                    let t0 = Instant::now();
+                    let outcome = mix.run_one(&session, &mut rng).1;
+                    if measuring {
+                        // Closed-loop latency is pure service time (no
+                        // admission queue to wait in).
+                        rec.record(
+                            epoch.elapsed().as_nanos() as u64,
+                            txn_outcome(outcome),
+                            t0.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    match outcome {
                         Outcome::Commit => commits += 1,
                         Outcome::UserFail => user_fails += 1,
                         Outcome::SysAbort => sys_aborts += 1,
                     }
                 }
+                rec.flush();
                 let tally = sli_profiler::take_tally();
                 AgentOutcome {
                     commits,
@@ -129,6 +198,7 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
         }
         start_barrier.wait();
         std::thread::sleep(cfg.warmup);
+        let measure_start_ns = epoch.elapsed().as_nanos() as u64;
         phase.store(PHASE_MEASURE, Ordering::Release);
         let lock_before = db.lock_stats();
         let park_before = sli_latch::parking_stats();
@@ -145,6 +215,7 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
         (
             outcomes,
             wall,
+            measure_start_ns,
             lock_after.delta(&lock_before),
             park_after.delta(&park_before),
         )
@@ -159,6 +230,47 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
         wall.as_nanos() as u64,
         cfg.agents,
     );
+
+    // Windowed trajectory: every sample was recorded during the
+    // measured phase, so rebase window ids to the measure boundary.
+    let window_ns = telemetry.window_ns();
+    let base_wid = measure_start_ns / window_ns;
+    let (cores, late) = telemetry.drain_rest();
+    let mut total_hist = Hist::new();
+    let mut windows = Vec::with_capacity(cores.len());
+    for (wid, core) in &cores {
+        if let Some(h) = &core.hist {
+            total_hist.merge(h);
+        }
+        windows.push(WindowStats::from_core(
+            wid.saturating_sub(base_wid),
+            core,
+            0,
+            0,
+            0,
+        ));
+    }
+    if let Some(h) = &late.hist {
+        total_hist.merge(h);
+    }
+
+    let mut summary = Summary {
+        measure_secs: secs,
+        commits,
+        user_fails,
+        sys_aborts,
+        commits_per_sec: commits as f64 / secs,
+        attempts_per_sec: (commits + user_fails) as f64 / secs,
+        ..Summary::default()
+    };
+    if !total_hist.is_empty() {
+        summary.p50_ns = total_hist.quantile(0.50);
+        summary.p95_ns = total_hist.quantile(0.95);
+        summary.p99_ns = total_hist.quantile(0.99);
+        summary.max_ns = total_hist.max();
+        summary.mean_ns = total_hist.mean();
+    }
+
     RunResult {
         commits_per_sec: commits as f64 / secs,
         attempts_per_sec: (commits + user_fails) as f64 / secs,
@@ -169,39 +281,113 @@ pub fn run_workload(db: &Arc<Database>, mix: &MixedWorkload, cfg: &RunConfig) ->
         lock_delta,
         park_delta,
         agents: cfg.agents,
+        windows,
+        summary,
     }
 }
 
-/// Sweep agent counts and return per-count results.
+/// One step of an agent sweep, with its delta against the previous step.
+#[derive(Debug)]
+pub struct SweepStep {
+    /// The step's full run result.
+    pub result: RunResult,
+    /// Attempts/sec change versus the previous step (0 for the first).
+    pub delta_attempts_per_sec: f64,
+    /// Percentage change versus the previous step (0 for the first).
+    pub delta_pct: f64,
+}
+
+/// Structured output of an agent sweep: per-step results plus the
+/// step-over-step deltas that locate the scalability knee.
+#[derive(Debug)]
+pub struct Sweep {
+    /// Steps in ladder order.
+    pub steps: Vec<SweepStep>,
+}
+
+impl Sweep {
+    /// Build from raw per-step results, computing deltas.
+    pub fn from_results(results: Vec<RunResult>) -> Sweep {
+        let mut steps = Vec::with_capacity(results.len());
+        let mut prev: Option<f64> = None;
+        for result in results {
+            let cur = result.attempts_per_sec;
+            let (delta, pct) = match prev {
+                Some(p) if p > 0.0 => (cur - p, (cur - p) / p * 100.0),
+                _ => (0.0, 0.0),
+            };
+            prev = Some(cur);
+            steps.push(SweepStep {
+                result,
+                delta_attempts_per_sec: delta,
+                delta_pct: pct,
+            });
+        }
+        Sweep { steps }
+    }
+
+    /// The step with the highest attempts/sec (the paper's "peak
+    /// throughput" point).
+    pub fn peak(&self) -> &RunResult {
+        &self
+            .steps
+            .iter()
+            .max_by(|a, b| {
+                a.result
+                    .attempts_per_sec
+                    .partial_cmp(&b.result.attempts_per_sec)
+                    .expect("throughputs are finite")
+            })
+            .expect("non-empty sweep")
+            .result
+    }
+
+    /// Borrow the raw results in ladder order.
+    pub fn results(&self) -> impl Iterator<Item = &RunResult> {
+        self.steps.iter().map(|s| &s.result)
+    }
+
+    /// Print the sweep as the shared step table (agents, throughput,
+    /// step delta, latency quantiles) used by every sweeping experiment.
+    pub fn print_table(&self) {
+        println!(
+            "{:>7} {:>12} {:>8} {:>9} {:>9} {:>9}",
+            "agents", "attempts/s", "step%", "p50us", "p95us", "p99us"
+        );
+        for s in &self.steps {
+            let r = &s.result;
+            println!(
+                "{:>7} {:>12.0} {:>8.1} {:>9.1} {:>9.1} {:>9.1}",
+                r.agents,
+                r.attempts_per_sec,
+                s.delta_pct,
+                r.summary.p50_ns as f64 / 1e3,
+                r.summary.p95_ns as f64 / 1e3,
+                r.summary.p99_ns as f64 / 1e3,
+            );
+        }
+    }
+}
+
+/// Sweep agent counts and return the structured per-step results.
 pub fn sweep_agents(
     db: &Arc<Database>,
     mix: &MixedWorkload,
     counts: &[usize],
     cfg: &RunConfig,
-) -> Vec<RunResult> {
-    counts
-        .iter()
-        .map(|&agents| {
-            let cfg = RunConfig {
-                agents,
-                ..cfg.clone()
-            };
-            run_workload(db, mix, &cfg)
-        })
-        .collect()
-}
-
-/// Pick the result with the highest attempts/sec (the paper's "peak
-/// throughput" point).
-pub fn peak(results: &[RunResult]) -> &RunResult {
-    results
-        .iter()
-        .max_by(|a, b| {
-            a.attempts_per_sec
-                .partial_cmp(&b.attempts_per_sec)
-                .expect("throughputs are finite")
-        })
-        .expect("non-empty sweep")
+) -> Sweep {
+    Sweep::from_results(
+        counts
+            .iter()
+            .map(|&agents| {
+                let cfg = RunConfig {
+                    agents,
+                    ..cfg.clone()
+                };
+                run_workload(db, mix, &cfg)
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -230,6 +416,15 @@ mod tests {
         assert!(r.lock_delta.commits > 0);
         // Two agents for 100ms: potential = 200ms of cpu time.
         assert!(r.report.potential() >= 150_000_000);
+        // The run now carries a windowed trajectory and a latency
+        // summary consistent with the counters.
+        assert!(!r.windows.is_empty(), "telemetry produced windows");
+        assert_eq!(r.summary.commits, r.commits);
+        assert!(r.summary.p50_ns > 0, "latency quantiles populated");
+        assert!(r.summary.p99_ns >= r.summary.p50_ns);
+        let window_total: u64 = r.windows.iter().map(|w| w.completions()).sum();
+        assert!(window_total > 0);
+        assert!(window_total <= r.commits + r.user_fails + r.sys_aborts);
     }
 
     #[test]
@@ -245,9 +440,43 @@ mod tests {
             measure: Duration::from_millis(50),
             seed: 3,
         };
-        let results = sweep_agents(&db, &mix, &[1, 2], &cfg);
-        assert_eq!(results.len(), 2);
-        let p = peak(&results);
-        assert!(p.attempts_per_sec >= results[0].attempts_per_sec);
+        let sweep = sweep_agents(&db, &mix, &[1, 2], &cfg);
+        assert_eq!(sweep.steps.len(), 2);
+        let p = sweep.peak();
+        assert!(p.attempts_per_sec >= sweep.steps[0].result.attempts_per_sec);
+        // First step has no predecessor; the second carries a delta.
+        assert_eq!(sweep.steps[0].delta_pct, 0.0);
+        let expected =
+            sweep.steps[1].result.attempts_per_sec - sweep.steps[0].result.attempts_per_sec;
+        assert!((sweep.steps[1].delta_attempts_per_sec - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_run_emits_a_valid_artifact_shape() {
+        let db = sli_engine::Database::open(
+            DatabaseConfig::with_policy(sli_engine::PolicyKind::Baseline).in_memory(),
+        );
+        let tm1 = Tm1::load(&db, 200, 1);
+        let mix = tm1.ndbb_mix();
+        let cfg = RunConfig {
+            agents: 1,
+            warmup: Duration::from_millis(10),
+            measure: Duration::from_millis(60),
+            seed: 5,
+        };
+        let r = run_workload(&db, &mix, &cfg);
+        let art = r.bench_artifact(
+            "unit",
+            "tm1-ndbb",
+            vec![("policy".into(), "baseline".into())],
+        );
+        let doc = art.to_json();
+        let v = sli_traffic::json::parse(&doc).expect("artifact is valid JSON");
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("closed-loop"));
+        assert!(v.get("windows").unwrap().as_arr().is_some());
+        assert_eq!(
+            v.get("summary").unwrap().get("commits").unwrap().as_num(),
+            Some(r.commits as f64)
+        );
     }
 }

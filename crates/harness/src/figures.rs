@@ -14,7 +14,7 @@ use sli_workloads::tm1::Tm1;
 use sli_workloads::tpcb::TpcB;
 use sli_workloads::MixedWorkload;
 
-use crate::driver::{peak, run_workload, sweep_agents, RunConfig, RunResult};
+use crate::driver::{run_workload, sweep_agents, RunConfig, RunResult};
 use crate::setup::{
     all_breakdown_workloads, db_config, tm1_workloads, tpcb_workload, tpcc_workloads,
     ExperimentScale, LoadedWorkload,
@@ -255,8 +255,8 @@ fn print_breakdown_row(row: &BreakdownRow) {
 }
 
 fn breakdown_at_peak(w: &LoadedWorkload, scale: &ExperimentScale) -> BreakdownRow {
-    let results = sweep_agents(&w.db, &w.mix, &scale.short_ladder(), &run_cfg(scale, 1));
-    breakdown_row(w.label, peak(&results))
+    let sweep = sweep_agents(&w.db, &w.mix, &scale.short_ladder(), &run_cfg(scale, 1));
+    breakdown_row(w.label, sweep.peak())
 }
 
 /// Figure 6: execution-time breakdown at peak throughput, baseline system.
@@ -478,8 +478,8 @@ pub fn fig11(scale: &ExperimentScale) -> Vec<Fig11Row> {
             debug_assert_eq!(b.label, s.label);
             let rb = sweep_agents(&b.db, &b.mix, &scale.short_ladder(), &run_cfg(scale, 1));
             let rs = sweep_agents(&s.db, &s.mix, &scale.short_ladder(), &run_cfg(scale, 1));
-            let pb = peak(&rb).attempts_per_sec;
-            let ps = peak(&rs).attempts_per_sec;
+            let pb = rb.peak().attempts_per_sec;
+            let ps = rs.peak().attempts_per_sec;
             let row = Fig11Row {
                 label: b.label,
                 baseline: pb,
@@ -718,6 +718,12 @@ pub fn policy_matrix(scale: &ExperimentScale) -> Vec<PolicyMatrixRow> {
         let mix = tm1.ndbb_mix();
         for agents in scale.short_ladder() {
             let r = run_workload(&db, &mix, &run_cfg(scale, agents));
+            r.bench_artifact(
+                "policy-matrix",
+                &format!("ndbb-{}-a{agents}", kind.name()),
+                vec![("policy".into(), kind.name().into())],
+            )
+            .emit();
             let d = &r.lock_delta;
             let row = PolicyMatrixRow {
                 policy: kind.name(),
@@ -1213,6 +1219,12 @@ pub fn latch_scaling(scale: &ExperimentScale) -> Vec<LatchScalingRow> {
         for multiple in [1usize, 2, 4, 8] {
             let agents = multiple * cores;
             let r = run_workload(&db, &mix, &run_cfg(scale, agents));
+            r.bench_artifact(
+                "latch-scaling",
+                &format!("ndbb-{}-x{multiple}", kind.name()),
+                vec![("policy".into(), kind.name().into())],
+            )
+            .emit();
             let d = &r.lock_delta;
             let p = &r.park_delta;
             let row = LatchScalingRow {

@@ -25,6 +25,8 @@
 pub mod driver;
 pub mod figures;
 pub mod setup;
+pub mod traffic;
 
-pub use driver::{run_workload, RunConfig, RunResult};
+pub use driver::{run_workload, sweep_agents, RunConfig, RunResult, Sweep, SweepStep};
 pub use setup::{env_u64, ExperimentScale};
+pub use traffic::{EngineOpenLoop, TrafficKnobs, TrafficRow};

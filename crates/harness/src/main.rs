@@ -4,7 +4,7 @@
 //! sli-harness <experiment> [...]
 //!   experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!                ablation-criteria bimodal roving-hotspot policy-matrix
-//!                latch-scaling all
+//!                latch-scaling grant-word traffic all
 //! ```
 //!
 //! Scale with environment variables (see `sli-harness --help` or the crate
@@ -31,11 +31,17 @@ experiments:
   policy-map         scoped policies: per-table overrides + adaptive promote/demote (TPC-C)
   latch-scaling      oversubscription sweep: agents at 1x-8x cores, parking counters
   grant-word         latch-free compatible acquisitions: fast-path counters on TPC-B
+  traffic            open-loop rate ladder: arrival-driven load, windowed telemetry,
+                     BENCH_*.json artifacts, knee where backlog diverges
   all                everything above, in order
 
 environment: SLI_MEASURE_MS (400) SLI_WARMUP_MS (200) SLI_MAX_AGENTS (nproc)
              SLI_TM1_SUBS (100000) SLI_TPCB_BRANCHES (100) SLI_TPCB_ACCOUNTS (1000)
-             SLI_TPCC_WAREHOUSES (24) SLI_TPCC_CUSTOMERS (300) SLI_TPCC_ITEMS (5000)";
+             SLI_TPCC_WAREHOUSES (24) SLI_TPCC_CUSTOMERS (300) SLI_TPCC_ITEMS (5000)
+             SLI_TRAFFIC_RATE (capacity ladder) SLI_TRAFFIC_PATTERN (poisson)
+             SLI_TRAFFIC_SOAK_SECS (0) SLI_TRAFFIC_QUEUE (4096)
+             SLI_TRAFFIC_WORKERS (min(4,nproc)) SLI_TRAFFIC_WINDOW_MS (500)
+             SLI_BENCH_DIR (bench-artifacts; empty or 0 disables artifacts)";
 
 fn run_one(name: &str, scale: &ExperimentScale) -> bool {
     match name {
@@ -84,6 +90,9 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
         "grant-word" => {
             figures::grant_word(scale);
         }
+        "traffic" => {
+            sli_harness::traffic::traffic(scale);
+        }
         "all" => {
             for exp in [
                 "fig1",
@@ -101,6 +110,7 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
                 "policy-map",
                 "latch-scaling",
                 "grant-word",
+                "traffic",
             ] {
                 run_one(exp, scale);
             }
@@ -115,6 +125,13 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{HELP}");
         return;
+    }
+    // `cargo run -p sli-harness -- <experiment>` always leaves
+    // machine-readable artifacts behind unless explicitly disabled
+    // (SLI_BENCH_DIR="" or "0"). Tests and library users stay clean:
+    // the default only applies to this binary.
+    if std::env::var_os("SLI_BENCH_DIR").is_none() {
+        std::env::set_var("SLI_BENCH_DIR", "bench-artifacts");
     }
     let scale = ExperimentScale::from_env();
     eprintln!(

@@ -1,0 +1,266 @@
+//! Fixed-bucket log-scaled latency histogram.
+//!
+//! The record path is a single array increment — no allocation, no
+//! atomics, no branching beyond the bucket computation — so a recorder
+//! can call it per transaction at any arrival rate the engine can
+//! sustain. Buckets are linear below `2^SUB_BITS` and log-scaled above,
+//! with `2^SUB_BITS` sub-buckets per octave (the HdrHistogram layout),
+//! bounding the relative quantile error at `2^-SUB_BITS` (≈3.1%).
+//!
+//! Exact `min`/`max`/`sum` ride alongside the buckets so the summary can
+//! report the true extremes even though interior quantiles are
+//! bucket-midpoint approximations.
+
+/// Sub-bucket resolution: `2^SUB_BITS` sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+
+const SUB: usize = 1 << SUB_BITS;
+const SUB_MASK: u64 = (SUB as u64) - 1;
+
+/// Total bucket count covering the full `u64` range: one linear region of
+/// `SUB` buckets plus `(64 - SUB_BITS)` octaves of `SUB` sub-buckets.
+pub const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// A latency histogram. Values are whatever unit the caller records
+/// (this crate records nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Hist {
+    buckets: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+/// Bucket index for a value: identity below `SUB`, `(octave, top
+/// `SUB_BITS` mantissa bits)` above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+        let sub = (v >> (e - SUB_BITS)) & SUB_MASK;
+        ((e - SUB_BITS + 1) as usize) * SUB + sub as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (the smallest value mapping to it).
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let block = (idx / SUB) as u32; // >= 1
+        let sub = (idx % SUB) as u64;
+        let e = block + SUB_BITS - 1;
+        (1u64 << e) + (sub << (e - SUB_BITS))
+    }
+}
+
+/// Width of a bucket (number of distinct values mapping to it).
+fn bucket_width(idx: usize) -> u64 {
+    if idx < SUB {
+        1
+    } else {
+        let block = (idx / SUB) as u32;
+        let e = block + SUB_BITS - 1;
+        1u64 << (e - SUB_BITS)
+    }
+}
+
+impl Hist {
+    /// An empty histogram. Allocates its bucket array once; recording
+    /// never allocates.
+    pub fn new() -> Self {
+        Hist {
+            buckets: vec![0u64; N_BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("N_BUCKETS-sized box"),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value. No allocation, no locking.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the midpoint of the bucket
+    /// holding the rank-`ceil(q * count)` sample. Relative error is
+    /// bounded by the bucket width: at most `2^-SUB_BITS` of the true
+    /// value. `q = 1.0` returns the exact maximum; an empty histogram
+    /// returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = bucket_lower(idx);
+                let mid = lo + bucket_width(idx) / 2;
+                // Never report beyond the observed extremes.
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty without deallocating the bucket array.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Whether any value has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_bounds() {
+        for v in [
+            0u64,
+            1,
+            SUB as u64 - 1,
+            SUB as u64,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let lo = bucket_lower(idx);
+            let w = bucket_width(idx);
+            assert!(lo <= v, "lower({idx}) = {lo} > {v}");
+            assert!(
+                v - lo < w,
+                "value {v} outside bucket {idx}: lo={lo} width={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            prev = idx;
+            v = v * 3 / 2 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < N_BUCKETS);
+    }
+
+    #[test]
+    fn exact_extremes_and_mean() {
+        let mut h = Hist::new();
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 265.0).abs() < 1e-9);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        // The linear region is exact: the median of 0..32 is 16.
+        assert_eq!(h.quantile(0.5), 15);
+    }
+}

@@ -1,0 +1,453 @@
+//! Hand-rolled JSON writer (and a minimal parser for validating it).
+//!
+//! The container has no registry access, so there is no serde; the
+//! artifact layer instead writes JSON through this ~200-line builder.
+//! Escaping follows RFC 8259: `"` and `\` are escaped, control
+//! characters below `0x20` become `\uNNNN` (with the `\n`/`\r`/`\t`
+//! short forms), and everything else passes through as UTF-8.
+//! Non-finite floats serialize as `null` — JSON has no NaN/Infinity.
+//!
+//! The parser exists so tests and the CI smoke can assert "the emitted
+//! artifact is real JSON with the required keys" without trusting the
+//! writer to validate itself.
+
+use std::fmt::Write as _;
+
+/// Incremental JSON builder. Panics on malformed call sequences (a key
+/// outside an object, a bare value inside one) — programming errors,
+/// not data errors.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One frame per open container: `true` once the container has a
+    /// first element (so the next element needs a comma).
+    stack: Vec<bool>,
+    /// A key was just written; the next value completes the pair.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Finish and return the JSON text.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed containers");
+        self.buf
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+        } else if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.buf.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_object without begin");
+        self.buf.push('}');
+        self
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_array without begin");
+        self.buf.push(']');
+        self
+    }
+
+    /// Write an object key; the next value call completes the pair.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        assert!(!self.pending_key, "two keys in a row");
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.buf.push(',');
+            }
+            *has_elems = true;
+        }
+        escape_into(&mut self.buf, k);
+        self.buf.push(':');
+        self.pending_key = true;
+        self
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.before_value();
+        escape_into(&mut self.buf, s);
+        self
+    }
+
+    /// Write an unsigned integer value.
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Write a float value; non-finite floats become `null`.
+    pub fn float(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Shorthand: `key` + `string`.
+    pub fn kv_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).string(v)
+    }
+
+    /// Shorthand: `key` + `uint`.
+    pub fn kv_uint(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).uint(v)
+    }
+
+    /// Shorthand: `key` + `float`.
+    pub fn kv_float(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).float(v)
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Minimal parser (validation + tests)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Returns `Err(position, message)` on malformed
+/// input.
+pub fn parse(src: &str) -> Result<Value, (usize, &'static str)> {
+    let b = src.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err((p.i, "trailing data"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8, msg: &'static str) -> Result<(), (usize, &'static str)> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err((self.i, msg))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, (usize, &'static str)> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(_) => self.number(),
+            None => Err((self.i, "unexpected end")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, (usize, &'static str)> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err((self.i, "bad literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, (usize, &'static str)> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or((start, "bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, (usize, &'static str)> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err((self.i, "unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = *self.b.get(self.i).ok_or((self.i, "bad escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: \uD8xx must be followed
+                                // by \uDCxx.
+                                self.expect(b'\\', "lone surrogate")?;
+                                self.expect(b'u', "lone surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err((self.i, "bad low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(c).ok_or((self.i, "bad codepoint"))?);
+                        }
+                        _ => return Err((self.i, "bad escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| (self.i, "bad utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, (usize, &'static str)> {
+        let s = self
+            .b
+            .get(self.i..self.i + 4)
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .ok_or((self.i, "bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| (self.i, "bad \\u escape"))?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Value, (usize, &'static str)> {
+        self.expect(b'{', "expected object")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected colon")?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((k, v));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err((self.i, "expected , or }")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, (usize, &'static str)> {
+        self.expect(b'[', "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err((self.i, "expected , or ]")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .kv_str("name", "run")
+            .kv_uint("count", 3)
+            .kv_float("rate", 1.5)
+            .key("flags")
+            .begin_array()
+            .boolean(true)
+            .boolean(false)
+            .end_array()
+            .key("inner")
+            .begin_object()
+            .kv_float("nan", f64::NAN)
+            .end_object()
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"run","count":3,"rate":1.5,"flags":[true,false],"inner":{"nan":null}}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("a")
+            .begin_array()
+            .end_array()
+            .key("o")
+            .begin_object()
+            .end_object()
+            .end_object();
+        assert_eq!(w.finish(), r#"{"a":[],"o":{}}"#);
+    }
+}

@@ -1,0 +1,216 @@
+//! Seeded arrival-schedule generation for open-loop load.
+//!
+//! An [`ArrivalSchedule`] is a deterministic stream of absolute arrival
+//! times (nanoseconds from the schedule epoch) at a target mean rate.
+//! Determinism matters: the same `(pattern, rate, seed)` triple always
+//! produces the same storm, so a regression reproduces under the exact
+//! offered load that exposed it.
+//!
+//! Three patterns:
+//!
+//! * **Constant** — evenly spaced arrivals (`1/rate` apart), the
+//!   metronome load of classic TPC drivers.
+//! * **Poisson** — exponential inter-arrival gaps, the memoryless
+//!   independent-user model (millions of users who do not coordinate).
+//! * **Bursty** — an on/off square wave: Poisson arrivals during the
+//!   `on` phase at a rate scaled so the *mean over the whole period*
+//!   still hits the target, and silence during the `off` phase. This is
+//!   the flash-crowd / batch-release shape that breaks systems tuned on
+//!   smooth load.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of the arrival process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalPattern {
+    /// Evenly spaced arrivals.
+    Constant,
+    /// Exponential (memoryless) inter-arrival gaps.
+    Poisson,
+    /// On/off square wave: Poisson bursts of `on_ms` every
+    /// `on_ms + off_ms`, scaled to preserve the mean rate.
+    Bursty {
+        /// Burst length in milliseconds.
+        on_ms: u64,
+        /// Silence length in milliseconds.
+        off_ms: u64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Parse from the `SLI_TRAFFIC_PATTERN` knob: `constant`, `poisson`,
+    /// or `bursty[:on_ms:off_ms]` (default burst 200ms on / 300ms off).
+    pub fn parse(s: &str) -> Option<ArrivalPattern> {
+        let mut parts = s.split(':');
+        match parts.next()? {
+            "constant" => Some(ArrivalPattern::Constant),
+            "poisson" => Some(ArrivalPattern::Poisson),
+            "bursty" => {
+                let on_ms = parts.next().map_or(Some(200), |p| p.parse().ok())?;
+                let off_ms = parts.next().map_or(Some(300), |p| p.parse().ok())?;
+                Some(ArrivalPattern::Bursty { on_ms, off_ms })
+            }
+            _ => None,
+        }
+    }
+
+    /// Display name (used in dashboards).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Constant => "constant",
+            ArrivalPattern::Poisson => "poisson",
+            ArrivalPattern::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Full knob-syntax form, the exact inverse of [`parse`]: recorded
+    /// in artifacts so a run's arrival process is reproducible.
+    ///
+    /// [`parse`]: ArrivalPattern::parse
+    pub fn describe(&self) -> String {
+        match self {
+            ArrivalPattern::Bursty { on_ms, off_ms } => format!("bursty:{on_ms}:{off_ms}"),
+            other => other.name().to_string(),
+        }
+    }
+}
+
+/// Deterministic stream of absolute arrival times (ns from epoch).
+pub struct ArrivalSchedule {
+    pattern: ArrivalPattern,
+    /// Target mean rate, arrivals per second.
+    rate: f64,
+    rng: SmallRng,
+    /// Next arrival time, ns from epoch.
+    next_ns: f64,
+}
+
+const NS_PER_SEC: f64 = 1_000_000_000.0;
+
+impl ArrivalSchedule {
+    /// A schedule at `rate` arrivals/second. `rate` must be positive.
+    pub fn new(pattern: ArrivalPattern, rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        ArrivalSchedule {
+            pattern,
+            rate,
+            rng: SmallRng::seed_from_u64(seed),
+            next_ns: 0.0,
+        }
+    }
+
+    /// An exponential inter-arrival gap with mean `1/rate` seconds,
+    /// in ns. Uses the inverse-CDF transform; the vendored rng's `f64`
+    /// stream is in `[0, 1)`, so `1 - u` never takes `ln(0)`.
+    fn exp_gap_ns(&mut self, rate: f64) -> f64 {
+        let u: f64 = self.rng.gen();
+        -(1.0 - u).ln() / rate * NS_PER_SEC
+    }
+
+    /// The next arrival time in ns from the epoch (the first arrival is
+    /// at the epoch itself). Infinite stream — the driver stops
+    /// consuming when its phase budget is spent.
+    pub fn next_arrival_ns(&mut self) -> u64 {
+        let at = self.next_ns as u64;
+        match self.pattern {
+            ArrivalPattern::Constant => {
+                self.next_ns += NS_PER_SEC / self.rate;
+            }
+            ArrivalPattern::Poisson => {
+                let gap = self.exp_gap_ns(self.rate);
+                self.next_ns += gap;
+            }
+            ArrivalPattern::Bursty { on_ms, off_ms } => {
+                let on_ns = on_ms as f64 * 1e6;
+                let period_ns = (on_ms + off_ms) as f64 * 1e6;
+                // Scale the in-burst rate so the mean over the whole
+                // period hits the target.
+                let burst_rate = self.rate * period_ns / on_ns;
+                let gap = self.exp_gap_ns(burst_rate);
+                let mut t = self.next_ns + gap;
+                // If the step leaves the on-phase, skip to the start of
+                // the next burst, carrying the overshoot into it so gap
+                // statistics survive the fold.
+                let phase = t % period_ns;
+                if phase >= on_ns {
+                    t += period_ns - phase;
+                }
+                self.next_ns = t;
+            }
+        }
+        at
+    }
+
+    /// Collect every arrival strictly before `horizon_ns`. Test/preview
+    /// helper — the driver consumes arrivals one at a time.
+    pub fn take_until(&mut self, horizon_ns: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival_ns();
+            if t >= horizon_ns {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_patterns() {
+        assert_eq!(
+            ArrivalPattern::parse("constant"),
+            Some(ArrivalPattern::Constant)
+        );
+        assert_eq!(
+            ArrivalPattern::parse("poisson"),
+            Some(ArrivalPattern::Poisson)
+        );
+        assert_eq!(
+            ArrivalPattern::parse("bursty"),
+            Some(ArrivalPattern::Bursty {
+                on_ms: 200,
+                off_ms: 300
+            })
+        );
+        assert_eq!(
+            ArrivalPattern::parse("bursty:50:150"),
+            Some(ArrivalPattern::Bursty {
+                on_ms: 50,
+                off_ms: 150
+            })
+        );
+        assert_eq!(ArrivalPattern::parse("sawtooth"), None);
+        assert_eq!(ArrivalPattern::parse("bursty:x:y"), None);
+    }
+
+    #[test]
+    fn describe_is_the_inverse_of_parse() {
+        for p in [
+            ArrivalPattern::Constant,
+            ArrivalPattern::Poisson,
+            ArrivalPattern::Bursty {
+                on_ms: 50,
+                off_ms: 150,
+            },
+        ] {
+            assert_eq!(ArrivalPattern::parse(&p.describe()), Some(p));
+        }
+    }
+
+    #[test]
+    fn constant_is_a_metronome() {
+        let mut s = ArrivalSchedule::new(ArrivalPattern::Constant, 1000.0, 7);
+        let arrivals = s.take_until(10_000_000); // 10ms at 1k/s -> 10 ticks
+        assert_eq!(arrivals.len(), 10);
+        for w in arrivals.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((999_000..=1_001_000).contains(&gap), "gap {gap}");
+        }
+    }
+}

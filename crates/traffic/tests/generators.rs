@@ -1,0 +1,91 @@
+//! Arrival-schedule properties: determinism under a fixed seed, and
+//! mean-rate accuracy for every pattern.
+
+use sli_traffic::{ArrivalPattern, ArrivalSchedule};
+
+const SEC: u64 = 1_000_000_000;
+
+fn arrivals(pattern: ArrivalPattern, rate: f64, seed: u64, horizon_ns: u64) -> Vec<u64> {
+    ArrivalSchedule::new(pattern, rate, seed).take_until(horizon_ns)
+}
+
+#[test]
+fn same_seed_same_storm() {
+    for pattern in [
+        ArrivalPattern::Constant,
+        ArrivalPattern::Poisson,
+        ArrivalPattern::Bursty {
+            on_ms: 200,
+            off_ms: 300,
+        },
+    ] {
+        let a = arrivals(pattern, 1500.0, 0xDEAD, 2 * SEC);
+        let b = arrivals(pattern, 1500.0, 0xDEAD, 2 * SEC);
+        assert_eq!(a, b, "{pattern:?} must be deterministic under a seed");
+        assert!(!a.is_empty());
+    }
+}
+
+#[test]
+fn different_seeds_differ_for_random_patterns() {
+    let a = arrivals(ArrivalPattern::Poisson, 1000.0, 1, SEC);
+    let b = arrivals(ArrivalPattern::Poisson, 1000.0, 2, SEC);
+    assert_ne!(a, b, "seed must matter");
+}
+
+#[test]
+fn poisson_hits_target_mean_rate() {
+    // 10s at 1000/s => 10_000 expected; Poisson sd is ~100, so ±5% is
+    // a ~5-sigma band — deterministic under the fixed seed anyway.
+    let a = arrivals(ArrivalPattern::Poisson, 1000.0, 7, 10 * SEC);
+    let n = a.len() as f64;
+    assert!(
+        (9_500.0..=10_500.0).contains(&n),
+        "poisson arrivals {n} not within 5% of 10000"
+    );
+    // Arrivals are sorted and in-range.
+    assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    assert!(*a.last().unwrap() < 10 * SEC);
+}
+
+#[test]
+fn bursty_hits_target_mean_rate_and_respects_off_phase() {
+    let (on_ms, off_ms) = (200u64, 300u64);
+    let a = arrivals(
+        ArrivalPattern::Bursty { on_ms, off_ms },
+        1000.0,
+        11,
+        10 * SEC,
+    );
+    let n = a.len() as f64;
+    // The on/off fold adds variance; ±10% over 20 periods.
+    assert!(
+        (9_000.0..=11_000.0).contains(&n),
+        "bursty arrivals {n} not within 10% of 10000"
+    );
+    // Every arrival lands inside an on-phase.
+    let on_ns = on_ms * 1_000_000;
+    let period_ns = (on_ms + off_ms) * 1_000_000;
+    for &t in &a {
+        assert!(
+            t % period_ns < on_ns,
+            "arrival {t} falls in the off-phase (phase {})",
+            t % period_ns
+        );
+    }
+    // And the burst rate inside the on-phase is correspondingly higher:
+    // the first period's on-window should hold ~rate * period/on * on
+    // = rate * period arrivals-per-second worth.
+    let first_burst = a.iter().filter(|&&t| t < on_ns).count() as f64;
+    let expected = 1000.0 * (period_ns as f64 / SEC as f64);
+    assert!(
+        (expected * 0.5..=expected * 1.5).contains(&first_burst),
+        "first burst {first_burst} vs expected {expected}"
+    );
+}
+
+#[test]
+fn constant_rate_is_exact() {
+    let a = arrivals(ArrivalPattern::Constant, 2000.0, 0, 5 * SEC);
+    assert_eq!(a.len(), 10_000, "constant pattern is a metronome");
+}

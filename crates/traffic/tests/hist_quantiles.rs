@@ -1,0 +1,71 @@
+//! Property test: histogram quantiles against an exact sorted-sample
+//! oracle. The log-bucketed layout promises relative error at most
+//! `2^-SUB_BITS` of the true value; we assert a slightly looser bound
+//! (4% + 1) to leave room for the bucket-midpoint convention.
+
+use proptest::prelude::*;
+use sli_traffic::Hist;
+
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn quantiles_track_the_exact_oracle(
+        values in prop::collection::vec(0u64..2_000_000_000, 1..400),
+        // The vendored proptest has no f64 strategies; draw permille.
+        qs_permille in prop::collection::vec(0u32..1000, 1..6),
+    ) {
+        let qs: Vec<f64> = qs_permille.iter().map(|&q| q as f64 / 1000.0).collect();
+        let mut h = Hist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let approx = h.quantile(q);
+            let exact = oracle_quantile(&sorted, q);
+            let tol = (exact as f64 * 0.04) as u64 + 1;
+            prop_assert!(
+                approx.abs_diff(exact) <= tol,
+                "q={q}: approx {approx} vs exact {exact} (tol {tol}, n={})",
+                sorted.len()
+            );
+        }
+        // Extremes and count are exact, always.
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+        prop_assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Hist::new();
+        let mut hb = Hist::new();
+        let mut hall = Hist::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hall.quantile(q));
+        }
+    }
+}

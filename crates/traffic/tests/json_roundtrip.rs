@@ -1,0 +1,94 @@
+//! JSON writer/parser round-trip properties: arbitrary strings —
+//! including control characters, quotes, backslashes, and non-ASCII —
+//! must survive escape → parse unchanged, and numeric values must
+//! round-trip exactly.
+
+use proptest::prelude::*;
+use sli_traffic::json::{parse, JsonWriter, Value};
+
+/// Strings over a deliberately hostile alphabet: controls, the escape
+/// characters themselves, ASCII, and a few multi-byte scripts.
+fn arb_string() -> impl Strategy<Value = String> {
+    // char::from_u32 yields None for surrogate code points, so the
+    // filter_map keeps only valid scalar values.
+    prop::collection::vec(0u32..0x3000, 0..40)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn strings_round_trip(s in arb_string(), key in arb_string()) {
+        let mut w = JsonWriter::new();
+        w.begin_object().key(&key).string(&s).end_object();
+        let doc = w.finish();
+        let v = parse(&doc).expect("writer output must parse");
+        match v {
+            Value::Obj(members) => {
+                prop_assert_eq!(members.len(), 1);
+                prop_assert_eq!(&members[0].0, &key);
+                match &members[0].1 {
+                    Value::Str(got) => prop_assert_eq!(got, &s),
+                    other => prop_assert!(false, "expected string, got {:?}", other),
+                }
+            }
+            other => prop_assert!(false, "expected object, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn uints_round_trip(vals in prop::collection::vec(0u64..u64::MAX / 2, 0..20)) {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        for &v in &vals {
+            w.uint(v);
+        }
+        w.end_array();
+        let doc = w.finish();
+        let parsed = parse(&doc).expect("valid");
+        let arr = parsed.as_arr().expect("array");
+        prop_assert_eq!(arr.len(), vals.len());
+        for (got, want) in arr.iter().zip(&vals) {
+            // u64 above 2^53 loses precision through f64; the artifact
+            // only stores counts and ns values well below that, but the
+            // parser must at least stay within f64 rounding.
+            let g = got.as_num().expect("number");
+            prop_assert!((g - *want as f64).abs() <= (*want as f64) * 1e-15 + 0.5);
+        }
+    }
+}
+
+#[test]
+fn escapes_cover_the_control_plane() {
+    let hostile = "quote\" backslash\\ newline\n tab\t cr\r null\u{0} bell\u{7} unicode\u{1F}é漢";
+    let mut w = JsonWriter::new();
+    w.begin_object().key("k").string(hostile).end_object();
+    let doc = w.finish();
+    // The document itself must contain no raw control bytes.
+    assert!(
+        doc.bytes().all(|b| b >= 0x20),
+        "raw control byte leaked: {doc:?}"
+    );
+    let v = parse(&doc).expect("parses");
+    assert_eq!(v.get("k").unwrap().as_str(), Some(hostile));
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "[1,",
+        "\"unterminated",
+        "{\"a\" 1}",
+        "nul",
+        "{\"a\":1}trailing",
+        "\"bad escape \\q\"",
+        "\"lone surrogate \\ud800\"",
+    ] {
+        assert!(parse(bad).is_err(), "parser accepted {bad:?}");
+    }
+}

@@ -71,16 +71,26 @@ impl MixedWorkload {
         }
     }
 
-    /// Pick one transaction by weight and run it.
-    pub fn run_one(&self, session: &Session, rng: &mut SmallRng) -> (usize, Outcome) {
+    /// Pick one transaction index by weight, consuming one rng draw.
+    /// Split from execution so drivers that schedule work (the open-loop
+    /// pacer) can decide *what* arrives independently of running it.
+    pub fn pick(&self, rng: &mut SmallRng) -> usize {
         let x: f64 = rng.gen();
-        let idx = self
-            .cumulative
+        self.cumulative
             .iter()
             .position(|c| x <= *c)
-            .unwrap_or(self.entries.len() - 1);
-        let outcome = (self.entries[idx].run)(session, rng);
-        (idx, outcome)
+            .unwrap_or(self.entries.len() - 1)
+    }
+
+    /// Run the transaction at `idx` (as returned by [`pick`](Self::pick)).
+    pub fn run_at(&self, idx: usize, session: &Session, rng: &mut SmallRng) -> Outcome {
+        (self.entries[idx].run)(session, rng)
+    }
+
+    /// Pick one transaction by weight and run it.
+    pub fn run_one(&self, session: &Session, rng: &mut SmallRng) -> (usize, Outcome) {
+        let idx = self.pick(rng);
+        (idx, self.run_at(idx, session, rng))
     }
 
     /// Names of the transactions in this mix, in entry order.
@@ -161,6 +171,34 @@ mod tests {
             assert_eq!(mix.run_one(&s, &mut rng).0, 0);
         }
         assert_eq!(mix.transaction_names(), vec!["only"]);
+    }
+
+    #[test]
+    fn pick_and_run_at_compose_to_run_one() {
+        let mix = MixedWorkload::new(
+            "m",
+            vec![
+                MixEntry {
+                    name: "fail",
+                    weight: 1.0,
+                    run: Box::new(|_, _| Outcome::UserFail),
+                },
+                MixEntry {
+                    name: "ok",
+                    weight: 1.0,
+                    run: Box::new(|_, _| Outcome::Commit),
+                },
+            ],
+        );
+        let s = dummy_session();
+        let mut rng = SmallRng::seed_from_u64(9);
+        // run_at executes exactly the named entry.
+        assert_eq!(mix.run_at(0, &s, &mut rng), Outcome::UserFail);
+        assert_eq!(mix.run_at(1, &s, &mut rng), Outcome::Commit);
+        // pick stays in range.
+        for _ in 0..100 {
+            assert!(mix.pick(&mut rng) < mix.len());
+        }
     }
 
     #[test]

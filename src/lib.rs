@@ -31,5 +31,6 @@ pub use sli_harness as harness;
 pub use sli_latch as latch;
 pub use sli_profiler as profiler;
 pub use sli_storage as storage;
+pub use sli_traffic as traffic;
 pub use sli_wal as wal;
 pub use sli_workloads as workloads;
