@@ -128,6 +128,14 @@ impl LockManager {
         Ok(AgentSliState::with_pool_cap(slot, cap))
     }
 
+    /// Raise the transaction-id floor so ids handed out from here on are
+    /// at least `floor`. Recovery calls this after replaying a log so new
+    /// transactions never reuse an id that appears in the durable prefix.
+    pub fn advance_txn_floor(&self, floor: u64) {
+        // ordering: relaxed — a pure id allocator (see `register_agent`).
+        self.next_txn.fetch_max(floor, Ordering::Relaxed);
+    }
+
     /// Start a transaction on `agent`, pre-populating its lock cache with
     /// the agent's inherited requests (the SLI hand-off).
     ///

@@ -12,7 +12,7 @@ use sli_core::{
 use sli_storage::{
     BufferPool, BufferPoolConfig, BufferPoolStats, HashIndex, HeapTable, OrderedIndex, Rid,
 };
-use sli_wal::{LogConfig, LogManager, LogStats};
+use sli_wal::{LogConfig, LogManager, LogRecord, LogStats, Lsn, WalError, LOADER_TXN};
 
 use crate::session::Session;
 
@@ -129,10 +129,20 @@ impl DatabaseConfig {
     }
 
     /// In-memory setup: no I/O penalties anywhere (the paper's NDBB
-    /// configuration).
+    /// configuration). Resets the log config — call [`Self::durable`]
+    /// *after* this when combining the two.
     pub fn in_memory(mut self) -> Self {
         self.pool = BufferPoolConfig::all_in_memory();
         self.log = LogConfig::default();
+        self
+    }
+
+    /// Builder: retain the log's durable bytes in a simulated device so
+    /// the database can be recovered from them (see
+    /// [`Database::recover`]). Off by default — retention copies every
+    /// flushed batch, which perf experiments don't want to pay.
+    pub fn durable(mut self) -> Self {
+        self.log.retain = true;
         self
     }
 }
@@ -170,9 +180,17 @@ pub struct Database {
 impl Database {
     /// Open a fresh database.
     pub fn open(config: DatabaseConfig) -> Arc<Database> {
+        let log = LogManager::new(config.log.clone());
+        Self::open_with_log(config, log)
+    }
+
+    /// Open around an existing log manager (recovery hands in one seeded
+    /// with the surviving device bytes so new appends continue the LSN
+    /// sequence past the old tail).
+    pub(crate) fn open_with_log(config: DatabaseConfig, log: LogManager) -> Arc<Database> {
         Arc::new(Database {
             lockmgr: LockManager::new(config.lock),
-            log: Arc::new(LogManager::new(config.log)),
+            log: Arc::new(log),
             pool: Arc::new(BufferPool::new(config.pool)),
             row_work_ns: config.row_work_ns,
             catalog: RwLock::new(HashMap::new()),
@@ -184,6 +202,16 @@ impl Database {
     /// policy override declared for this name — before any lock head for
     /// the table can exist, so every head resolves into the right scope.
     pub fn create_table(&self, name: &str) -> Result<TableHandle, EngineError> {
+        self.create_table_inner(name, true)
+    }
+
+    /// `log = false` is the recovery path: the Create record being
+    /// replayed is already in the log, so re-appending it would double it.
+    pub(crate) fn create_table_inner(
+        &self,
+        name: &str,
+        log: bool,
+    ) -> Result<TableHandle, EngineError> {
         let mut catalog = self.catalog.write();
         if catalog.contains_key(name) {
             return Err(EngineError::DuplicateTable(name.to_string()));
@@ -198,6 +226,9 @@ impl Database {
         }));
         catalog.insert(name.to_string(), handle);
         self.lockmgr.bind_table_policy(name, handle.table_id());
+        if log && self.log.retains() {
+            self.log.append(LogRecord::create(handle.0, name));
+        }
         Ok(handle)
     }
 
@@ -215,6 +246,11 @@ impl Database {
         Arc::clone(&self.tables.read()[h.0 as usize])
     }
 
+    /// Table storage by raw id (recovery replay path).
+    pub(crate) fn table_by_id(&self, id: u32) -> Option<Arc<TableData>> {
+        self.tables.read().get(id as usize).map(Arc::clone)
+    }
+
     /// Open a session (allocates a lock-manager agent). One per worker
     /// thread. Panics when the agent capacity is exceeded; use
     /// [`Database::try_session`] to handle that case.
@@ -230,7 +266,9 @@ impl Database {
     }
 
     /// Non-transactional bulk load: insert directly into heap and indexes,
-    /// bypassing locks and WAL. For dataset loaders only.
+    /// bypassing locks. For dataset loaders only. On a durable database
+    /// (see [`DatabaseConfig::durable`]) each row is logged under the
+    /// loader pseudo-transaction so recovery can rebuild the base data.
     pub fn bulk_insert(
         &self,
         table: TableHandle,
@@ -239,12 +277,24 @@ impl Database {
         data: &[u8],
     ) -> Rid {
         let t = self.table(table);
-        let rid = t.heap.insert(Bytes::copy_from_slice(data));
+        let bytes = Bytes::copy_from_slice(data);
+        let rid = t.heap.insert(bytes.clone());
         t.primary.insert(key, rid);
         if let Some(ok) = ordered_key {
             t.ordered.insert(ok, rid);
         }
         self.pool.prewarm(table.0, rid.page);
+        if self.log.retains() {
+            self.log.append(LogRecord::insert(
+                LOADER_TXN,
+                table.0,
+                rid.page,
+                rid.slot,
+                key,
+                ordered_key,
+                &bytes,
+            ));
+        }
         rid
     }
 
@@ -292,6 +342,20 @@ impl Database {
     /// WAL counter snapshot.
     pub fn log_stats(&self) -> LogStats {
         self.log.stats()
+    }
+
+    /// Force everything appended so far to the (simulated) log device.
+    /// Loaders call this so the base data is durable before a crash is
+    /// injected; see [`DatabaseConfig::durable`].
+    pub fn force_log(&self) -> Result<Lsn, WalError> {
+        self.log.force()
+    }
+
+    /// Copy of the log device's durable bytes (including any torn tail
+    /// left by an injected flush failure). Empty unless the database was
+    /// opened with [`DatabaseConfig::durable`].
+    pub fn durable_log(&self) -> Vec<u8> {
+        self.log.durable_snapshot()
     }
 
     /// Buffer-pool counter snapshot.

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod db;
+mod recovery;
 mod session;
 
 pub use db::{Database, DatabaseConfig, EngineError, TableHandle};
@@ -40,4 +41,6 @@ pub use sli_core::{
     PolicyKind, PolicyMap, ScopeStatsSnapshot, SliConfig, TableId,
 };
 pub use sli_storage::{BufferPoolConfig, BufferPoolStats, Rid};
-pub use sli_wal::{LogConfig, LogStats};
+pub use sli_wal::{
+    DecodeEnd, FaultPlan, LogConfig, LogStats, RecoveryError, RecoveryReport, WalError,
+};

@@ -7,7 +7,7 @@ use bytes::Bytes;
 use sli_core::{AgentSliState, LockError, LockId, LockMode, TxnLockState};
 use sli_profiler::{Category, Component};
 use sli_storage::Rid;
-use sli_wal::{LogRecord, Lsn};
+use sli_wal::{LogRecord, Lsn, WalError};
 
 use crate::db::{Database, EngineError, TableHandle};
 
@@ -22,6 +22,10 @@ pub enum TxnError {
     UserAbort(&'static str),
     /// A key or RID was not found.
     NotFound,
+    /// The commit-time log force failed (injected fsync failure or a
+    /// poisoned device): the transaction was NOT acknowledged. Its
+    /// effects may or may not survive a crash — recovery decides.
+    Durability(WalError),
 }
 
 impl From<LockError> for TxnError {
@@ -36,6 +40,7 @@ impl std::fmt::Display for TxnError {
             TxnError::Lock(e) => write!(f, "lock error: {e}"),
             TxnError::UserAbort(why) => write!(f, "user abort: {why}"),
             TxnError::NotFound => write!(f, "not found"),
+            TxnError::Durability(e) => write!(f, "commit not durable: {e}"),
         }
     }
 }
@@ -44,6 +49,7 @@ impl std::error::Error for TxnError {}
 
 impl TxnError {
     /// True for failures worth retrying from the top (deadlock/timeout).
+    /// Durability failures are not retryable: the log device is gone.
     pub fn is_retryable(&self) -> bool {
         matches!(self, TxnError::Lock(e) if e.is_retryable())
     }
@@ -97,10 +103,7 @@ impl Session {
             last_lsn: 0,
         };
         match body(&mut txn) {
-            Ok(v) => {
-                txn.commit();
-                Ok(v)
-            }
+            Ok(v) => txn.commit().map(|()| v),
             Err(e) => {
                 txn.rollback();
                 Err(e)
@@ -329,6 +332,8 @@ impl Txn<'_> {
             table.0,
             rid.page,
             rid.slot,
+            key,
+            ordered_key,
             data,
         ));
         self.undo.push(UndoEntry::Insert {
@@ -366,6 +371,8 @@ impl Txn<'_> {
             table.0,
             rid.page,
             rid.slot,
+            key,
+            ordered_key,
             &before,
         ));
         self.undo.push(UndoEntry::Delete {
@@ -421,7 +428,7 @@ impl Txn<'_> {
         TxnError::UserAbort(why)
     }
 
-    fn commit(self) {
+    fn commit(self) -> Result<(), TxnError> {
         let _t = sli_profiler::enter(Category::Work(Component::TxnManager));
         if self.wrote {
             let seq = self.ts.txn_seq();
@@ -430,20 +437,39 @@ impl Txn<'_> {
             // the commit LSN is assigned, before the (blocking) log flush.
             // A no-op for every other policy.
             self.db.lockmgr.pre_commit_release(self.ts);
-            self.db.log.commit(seq, lsn);
+            let forced = self.db.log.commit(seq, lsn);
+            // On a flush failure the in-memory effects are kept and the
+            // locks released as committed: the Commit record is already in
+            // the log stream, so rolling back here could contradict what a
+            // torn prefix preserves. The caller simply never gets the ack
+            // — recovery decides the transaction's fate from the durable
+            // prefix alone.
+            self.db.lockmgr.end_txn(self.ts, self.agent, true);
+            return forced.map_err(TxnError::Durability);
         }
         self.db.lockmgr.end_txn(self.ts, self.agent, true);
+        Ok(())
     }
 
     fn rollback(mut self) {
         let _t = sli_profiler::enter(Category::Work(Component::TxnManager));
-        // Undo in reverse order while still holding all X locks.
+        let seq = self.ts.txn_seq();
+        // Undo in reverse order while still holding all X locks. Every
+        // undo appends a compensation record (the inverse operation,
+        // same txn id) BEFORE the final Abort: if the Abort reaches the
+        // durable log, recovery can restore this loser by pure redo; if
+        // the crash lands mid-compensation, the undo pass reverses
+        // whatever made it out (its operations are tolerant re-inverses).
         for entry in self.undo.drain(..).rev() {
             let _s = sli_profiler::enter(Category::Work(Component::Storage));
             match entry {
                 UndoEntry::Update { table, rid, before } => {
                     let t = self.db.table(table);
-                    t.heap.update(rid, before);
+                    if let Some(dirty) = t.heap.update(rid, before.clone()) {
+                        self.db.log.append(LogRecord::update(
+                            seq, table.0, rid.page, rid.slot, &dirty, &before,
+                        ));
+                    }
                 }
                 UndoEntry::Insert {
                     table,
@@ -452,10 +478,21 @@ impl Txn<'_> {
                     ordered_key,
                 } => {
                     let t = self.db.table(table);
-                    t.heap.delete(rid);
+                    let gone = t.heap.delete(rid);
                     t.primary.remove(key);
                     if let Some(ok) = ordered_key {
                         t.ordered.remove(ok);
+                    }
+                    if let Some(data) = gone {
+                        self.db.log.append(LogRecord::delete(
+                            seq,
+                            table.0,
+                            rid.page,
+                            rid.slot,
+                            key,
+                            ordered_key,
+                            &data,
+                        ));
                     }
                 }
                 UndoEntry::Delete {
@@ -466,16 +503,25 @@ impl Txn<'_> {
                     ordered_key,
                 } => {
                     let t = self.db.table(table);
-                    t.heap.restore(rid, before);
+                    t.heap.restore(rid, before.clone());
                     t.primary.insert(key, rid);
                     if let Some(ok) = ordered_key {
                         t.ordered.insert(ok, rid);
                     }
+                    self.db.log.append(LogRecord::insert(
+                        seq,
+                        table.0,
+                        rid.page,
+                        rid.slot,
+                        key,
+                        ordered_key,
+                        &before,
+                    ));
                 }
             }
         }
         if self.wrote {
-            self.db.log.abort(self.ts.txn_seq());
+            self.db.log.abort(seq);
         }
         self.db.lockmgr.end_txn(self.ts, self.agent, false);
     }

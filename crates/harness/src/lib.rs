@@ -25,8 +25,10 @@
 pub mod driver;
 pub mod figures;
 pub mod setup;
+pub mod torture;
 pub mod traffic;
 
 pub use driver::{run_workload, sweep_agents, RunConfig, RunResult, Sweep, SweepStep};
 pub use setup::{env_u64, ExperimentScale};
+pub use torture::{crash_torture, CrashFlavor, TortureSummary};
 pub use traffic::{EngineOpenLoop, TrafficKnobs, TrafficRow};

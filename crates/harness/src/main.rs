@@ -4,7 +4,7 @@
 //! sli-harness <experiment> [...]
 //!   experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!                ablation-criteria bimodal roving-hotspot policy-matrix
-//!                latch-scaling grant-word traffic all
+//!                latch-scaling grant-word traffic crash-torture all
 //! ```
 //!
 //! Scale with environment variables (see `sli-harness --help` or the crate
@@ -33,6 +33,9 @@ experiments:
   grant-word         latch-free compatible acquisitions: fast-path counters on TPC-B
   traffic            open-loop rate ladder: arrival-driven load, windowed telemetry,
                      BENCH_*.json artifacts, knee where backlog diverges
+  crash-torture      seeded crash points (kill/tear/fsync-fail) on TPC-B + TPC-C:
+                     recover, check invariants + redo idempotence; nonzero exit
+                     on any violation
   all                everything above, in order
 
 environment: SLI_MEASURE_MS (400) SLI_WARMUP_MS (200) SLI_MAX_AGENTS (nproc)
@@ -41,7 +44,9 @@ environment: SLI_MEASURE_MS (400) SLI_WARMUP_MS (200) SLI_MAX_AGENTS (nproc)
              SLI_TRAFFIC_RATE (capacity ladder) SLI_TRAFFIC_PATTERN (poisson)
              SLI_TRAFFIC_SOAK_SECS (0) SLI_TRAFFIC_QUEUE (4096)
              SLI_TRAFFIC_WORKERS (min(4,nproc)) SLI_TRAFFIC_WINDOW_MS (500)
-             SLI_BENCH_DIR (bench-artifacts; empty or 0 disables artifacts)";
+             SLI_BENCH_DIR (bench-artifacts; empty or 0 disables artifacts)
+             SLI_TORTURE_POINTS (60/workload) SLI_TORTURE_AGENTS (3)
+             SLI_TORTURE_TXNS (30) SLI_TORTURE_SEED (0xC0FFEE)";
 
 fn run_one(name: &str, scale: &ExperimentScale) -> bool {
     match name {
@@ -93,6 +98,13 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
         "traffic" => {
             sli_harness::traffic::traffic(scale);
         }
+        "crash-torture" => {
+            let total = sli_harness::torture::crash_torture();
+            if total.violations > 0 {
+                eprintln!("crash-torture: {} violations", total.violations);
+                std::process::exit(1);
+            }
+        }
         "all" => {
             for exp in [
                 "fig1",
@@ -111,6 +123,7 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
                 "latch-scaling",
                 "grant-word",
                 "traffic",
+                "crash-torture",
             ] {
                 run_one(exp, scale);
             }

@@ -1,0 +1,322 @@
+//! Crash-torture: seeded fault injection over TPC-B and TPC-C.
+//!
+//! Each *crash point* loads a durable database, runs a few agent threads
+//! of the workload, then kills it in one of three flavors:
+//!
+//! - **kill** — truncate the durable log at a random *record boundary*
+//!   (a clean crash between two flushes);
+//! - **tear** — truncate at a random *byte* (a crash mid-write, leaving
+//!   a torn final record);
+//! - **fsync** — arm a seeded [`FaultPlan`]: one flush fails partway
+//!   through and poisons the device, so some commits are never
+//!   acknowledged.
+//!
+//! The survivor bytes are recovered ([`Database::recover`]) and checked:
+//!
+//! 1. workload invariants hold (TPC-B balance conservation with history
+//!    count == durable winners; TPC-C money conservation + order/line
+//!    structural integrity);
+//! 2. in the fsync flavor, every *acknowledged* commit is durable
+//!    (winners >= acks — an ack the log lost would be a lie);
+//! 3. recovery is idempotent: recovering the recovered log undoes
+//!    nothing, ends clean, and leaves an identical state hash.
+//!
+//! Every violation is counted and printed; [`crash_torture`] returns the
+//! totals so the binary (and CI) can gate on zero.
+//!
+//! Knobs: `SLI_TORTURE_POINTS` (crash points per workload, default 60),
+//! `SLI_TORTURE_AGENTS` (3), `SLI_TORTURE_TXNS` (per agent, 30),
+//! `SLI_TORTURE_SEED` (0xC0FFEE).
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sli_engine::{Database, DatabaseConfig, FaultPlan, PolicyKind};
+use sli_wal::LogRecord;
+use sli_workloads::mix::{MixedWorkload, Outcome};
+use sli_workloads::tpcb::TpcB;
+use sli_workloads::tpcc::{TpcC, TpcCScale};
+
+use crate::setup::env_u64;
+
+/// How one crash point kills the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashFlavor {
+    /// Truncate the log at a random record boundary.
+    Kill,
+    /// Truncate the log at a random byte (torn final record).
+    Tear,
+    /// Seeded fsync failure: a flush drops bytes and poisons the device.
+    Fsync,
+}
+
+impl CrashFlavor {
+    fn of(i: u64) -> CrashFlavor {
+        match i % 3 {
+            0 => CrashFlavor::Kill,
+            1 => CrashFlavor::Tear,
+            _ => CrashFlavor::Fsync,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            CrashFlavor::Kill => "kill",
+            CrashFlavor::Tear => "tear",
+            CrashFlavor::Fsync => "fsync",
+        }
+    }
+}
+
+/// Torture-run totals, for gating.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TortureSummary {
+    /// Crash points executed.
+    pub points: u64,
+    /// Invariant violations observed (must be zero).
+    pub violations: u64,
+    /// Transactions acknowledged as committed across all points.
+    pub acked: u64,
+    /// Durable winner transactions recovered across all points.
+    pub winners: u64,
+    /// Active losers the undo pass reversed across all points.
+    pub undone: u64,
+}
+
+struct Point {
+    workload: &'static str,
+    flavor: CrashFlavor,
+    policy: PolicyKind,
+    seed: u64,
+}
+
+fn durable_config(policy: PolicyKind, fault: FaultPlan) -> DatabaseConfig {
+    let mut cfg = DatabaseConfig::with_policy(policy).in_memory().durable();
+    cfg.log.fault = fault;
+    cfg
+}
+
+/// Drive `agents` threads of `mix` for `txns` transactions each and
+/// return the number of acknowledged *write* commits. Read-only
+/// transactions (TPC-C OrderStatus/StockLevel) commit without touching
+/// the log, so they can never show up as durable winners and must not
+/// count toward the acknowledgement-honesty check.
+fn drive(db: &Arc<Database>, mix: Arc<MixedWorkload>, agents: u64, txns: u64, seed: u64) -> u64 {
+    let read_only: Vec<bool> = mix
+        .transaction_names()
+        .iter()
+        .map(|n| matches!(*n, "OrderStatus" | "StockLevel"))
+        .collect();
+    let read_only = Arc::new(read_only);
+    let mut handles = Vec::new();
+    for a in 0..agents {
+        let db = Arc::clone(db);
+        let mix = Arc::clone(&mix);
+        let read_only = Arc::clone(&read_only);
+        handles.push(std::thread::spawn(move || {
+            let s = db.session();
+            let mut rng = SmallRng::seed_from_u64(seed ^ (a.wrapping_mul(0x9E37_79B9)));
+            let mut acked = 0u64;
+            for _ in 0..txns {
+                let (idx, outcome) = mix.run_one(&s, &mut rng);
+                if outcome == Outcome::Commit && !read_only[idx] {
+                    acked += 1;
+                }
+            }
+            acked
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+/// Pick where to cut the device bytes for a crash flavor. `floor` is the
+/// durably-forced load prefix — the crash never predates the base data,
+/// matching a deployment that checkpoints after loading.
+fn cut_for(flavor: CrashFlavor, log: &[u8], floor: usize, rng: &mut SmallRng) -> usize {
+    match flavor {
+        CrashFlavor::Kill => {
+            let boundaries: Vec<usize> = LogRecord::boundaries(log)
+                .into_iter()
+                .filter(|&b| b >= floor)
+                .collect();
+            boundaries[rng.gen_range(0..boundaries.len())]
+        }
+        CrashFlavor::Tear => rng.gen_range(floor..=log.len()),
+        // The injected flush failure already left the device torn (or
+        // short); the "crash" takes the whole device as-is.
+        CrashFlavor::Fsync => log.len(),
+    }
+}
+
+fn run_point(point: &Point, agents: u64, txns: u64) -> Result<TortureSummary, String> {
+    let mut rng = SmallRng::seed_from_u64(point.seed);
+    let fault = match point.flavor {
+        CrashFlavor::Fsync => {
+            // Fail a flush after the workload has started committing:
+            // the load itself forces once, so flush 2.. lands mid-run.
+            FaultPlan::fail_nth(2 + rng.gen_range(0..16u64), rng.gen_range(0..48usize))
+        }
+        _ => FaultPlan::none(),
+    };
+    let db = Database::open(durable_config(point.policy, fault));
+
+    // Load the workload small enough that a point stays well under a
+    // second but large enough for real page/lock populations.
+    let (mix, tpcb_scale): (Arc<MixedWorkload>, Option<(u64, u64)>) = match point.workload {
+        "tpcb" => {
+            let b = TpcB::load(&db, 2, 40);
+            (Arc::new(b.workload()), Some((2, 40)))
+        }
+        _ => {
+            let c = TpcC::load(&db, TpcCScale::tiny(), point.seed);
+            (Arc::new(c.small_mix()), None)
+        }
+    };
+    db.force_log()
+        .map_err(|e| format!("load force failed: {e}"))?;
+    let floor = db.durable_log().len();
+
+    let acked = drive(&db, mix, agents, txns, point.seed ^ 0xDEAD_BEEF);
+
+    // Crash: take the device bytes and cut them per flavor.
+    let log = db.durable_log();
+    let cut = cut_for(point.flavor, &log, floor, &mut rng);
+    drop(db);
+
+    let (rec, report) = Database::recover(DatabaseConfig::default().in_memory(), &log[..cut])
+        .map_err(|e| format!("recovery failed: {e}"))?;
+
+    // Workload invariants on the recovered database.
+    match tpcb_scale {
+        Some((branches, accounts)) => {
+            let history = TpcB::check_recovered(&rec, branches, accounts)?;
+            if history != report.winners {
+                return Err(format!(
+                    "history rows {history} != durable winners {}",
+                    report.winners
+                ));
+            }
+        }
+        None => TpcC::check_recovered(&rec, TpcCScale::tiny())?,
+    }
+
+    // Acknowledgement honesty: with the full device (fsync flavor), every
+    // acked commit must have survived. (Kill/tear cuts may legitimately
+    // drop acked commits — those crashes lose the tail of the device.)
+    if point.flavor == CrashFlavor::Fsync && report.winners < acked {
+        return Err(format!(
+            "acked {acked} commits but only {} are durable",
+            report.winners
+        ));
+    }
+
+    // Idempotence: recovering the recovered log is a no-op.
+    let log2 = rec.durable_log();
+    let hash1 = rec.state_hash();
+    let (rec2, report2) = Database::recover(DatabaseConfig::default().in_memory(), &log2)
+        .map_err(|e| format!("second recovery failed: {e}"))?;
+    if report2.undone != 0 {
+        return Err(format!("second recovery undid {} txns", report2.undone));
+    }
+    if report2.end != sli_engine::DecodeEnd::Clean {
+        return Err(format!("recovered log not clean: {:?}", report2.end));
+    }
+    if rec2.state_hash() != hash1 {
+        return Err("second recovery changed the state hash".to_string());
+    }
+
+    Ok(TortureSummary {
+        points: 1,
+        violations: 0,
+        acked,
+        winners: report.winners,
+        undone: report.undone,
+    })
+}
+
+/// Run the full torture matrix and print one row per crash point group.
+/// Returns the totals; callers gate on `violations == 0`.
+pub fn crash_torture() -> TortureSummary {
+    let points = env_u64("SLI_TORTURE_POINTS", 60);
+    let agents = env_u64("SLI_TORTURE_AGENTS", 3);
+    let txns = env_u64("SLI_TORTURE_TXNS", 30);
+    let seed = env_u64("SLI_TORTURE_SEED", 0xC0_FFEE);
+
+    println!(
+        "crash-torture: {points} points x {{tpcb, tpcc}} ({agents} agents x {txns} txns, seed {seed:#x})"
+    );
+    println!(
+        "{:<6} {:<7} {:>7} {:>9} {:>9} {:>8} {:>11}",
+        "wload", "flavor", "points", "acked", "winners", "undone", "violations"
+    );
+
+    let mut total = TortureSummary::default();
+    for workload in ["tpcb", "tpcc"] {
+        let mut by_flavor: Vec<(CrashFlavor, TortureSummary)> = vec![
+            (CrashFlavor::Kill, TortureSummary::default()),
+            (CrashFlavor::Tear, TortureSummary::default()),
+            (CrashFlavor::Fsync, TortureSummary::default()),
+        ];
+        for i in 0..points {
+            let point = Point {
+                workload,
+                flavor: CrashFlavor::of(i),
+                // Alternate lock policies so recovery sees both logging
+                // interleavings (early release changes flush batching).
+                policy: if i % 2 == 0 {
+                    PolicyKind::Baseline
+                } else {
+                    PolicyKind::PaperSli
+                },
+                seed: seed
+                    ^ (i.wrapping_mul(0x517C_C1B7_2722_0A95))
+                    ^ ((workload.len() as u64) << 56),
+            };
+            let slot = by_flavor
+                .iter_mut()
+                .find(|(f, _)| *f == point.flavor)
+                .map(|(_, s)| s)
+                .expect("flavor slot exists");
+            match run_point(&point, agents, txns) {
+                Ok(s) => {
+                    slot.points += s.points;
+                    slot.acked += s.acked;
+                    slot.winners += s.winners;
+                    slot.undone += s.undone;
+                }
+                Err(why) => {
+                    slot.points += 1;
+                    slot.violations += 1;
+                    println!(
+                        "VIOLATION [{workload}/{} seed {:#x}]: {why}",
+                        point.flavor.name(),
+                        point.seed
+                    );
+                }
+            }
+        }
+        for (flavor, s) in &by_flavor {
+            println!(
+                "{:<6} {:<7} {:>7} {:>9} {:>9} {:>8} {:>11}",
+                workload,
+                flavor.name(),
+                s.points,
+                s.acked,
+                s.winners,
+                s.undone,
+                s.violations
+            );
+            total.points += s.points;
+            total.violations += s.violations;
+            total.acked += s.acked;
+            total.winners += s.winners;
+            total.undone += s.undone;
+        }
+    }
+    println!(
+        "total: {} points, {} violations",
+        total.points, total.violations
+    );
+    total
+}

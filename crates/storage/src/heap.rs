@@ -77,15 +77,40 @@ impl HeapTable {
         }
     }
 
-    /// Insert at a *specific* RID (undo of a delete). The page must exist.
-    pub fn restore(&self, rid: Rid, data: Bytes) {
+    /// Insert at a *specific* RID (undo of a delete, or redo of an insert
+    /// during recovery). The page must exist (see [`Self::ensure_page`]).
+    /// Overwrites and returns whatever the slot held; idempotent with
+    /// respect to the live-record count.
+    pub fn restore(&self, rid: Rid, data: Bytes) -> Option<Bytes> {
         let dir = self.dir.read();
         let mut p = dir[rid.page as usize].lock();
-        p.restore(rid.slot, data);
-        // ordering: advisory counter and hint (see `insert`).
-        self.live_records.fetch_add(1, Ordering::Relaxed);
+        let prev = p.restore(rid.slot, data);
         drop(p);
+        if prev.is_none() {
+            // ordering: advisory counter and hint (see `insert`).
+            self.live_records.fetch_add(1, Ordering::Relaxed);
+        }
         self.insert_hint.fetch_min(rid.page, Ordering::Relaxed); // ordering: see above.
+        prev
+    }
+
+    /// Grow the directory until page `page` exists. Recovery replays
+    /// records at the exact RIDs the log recorded; pages must exist
+    /// before `restore` can place records on them.
+    pub fn ensure_page(&self, page: u32) {
+        {
+            let dir = self.dir.read();
+            if (dir.len() as u32) > page {
+                return;
+            }
+        }
+        let mut dir = self.dir.write();
+        while (dir.len() as u32) <= page {
+            dir.push(Box::new(Latched::new(
+                Component::Storage,
+                SlottedPage::new(),
+            )));
+        }
     }
 
     /// Read the record at `rid`.
@@ -184,8 +209,29 @@ mod tests {
         let h = HeapTable::new();
         let rid = h.insert(Bytes::from_static(b"v"));
         h.delete(rid).unwrap();
-        h.restore(rid, Bytes::from_static(b"v"));
+        assert_eq!(h.restore(rid, Bytes::from_static(b"v")), None);
         assert_eq!(&h.read(rid).unwrap()[..], b"v");
+        assert_eq!(h.record_count(), 1);
+        // Redo idempotence: restoring again overwrites in place and the
+        // record count stays exact.
+        let prev = h.restore(rid, Bytes::from_static(b"w")).unwrap();
+        assert_eq!(&prev[..], b"v");
+        assert_eq!(h.record_count(), 1);
+    }
+
+    #[test]
+    fn ensure_page_grows_to_cover_arbitrary_rids() {
+        let h = HeapTable::new();
+        assert_eq!(h.page_count(), 0);
+        h.ensure_page(3);
+        assert_eq!(h.page_count(), 4);
+        // Idempotent and never shrinks.
+        h.ensure_page(1);
+        assert_eq!(h.page_count(), 4);
+        // Restore can now place a record at an exact RID on a fresh page.
+        let rid = Rid::new(3, 9);
+        assert_eq!(h.restore(rid, Bytes::from_static(b"r")), None);
+        assert_eq!(&h.read(rid).unwrap()[..], b"r");
         assert_eq!(h.record_count(), 1);
     }
 

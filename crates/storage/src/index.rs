@@ -91,6 +91,20 @@ impl HashIndex {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Visit every `(key, rid)` entry. Shard-by-shard under the shard
+    /// latches; iteration order is unspecified (HashMap order within a
+    /// shard), so consumers needing a stable digest must combine entries
+    /// order-independently. Verification/recovery path, not transactional.
+    pub fn for_each(&self, mut visit: impl FnMut(u64, Rid)) {
+        for shard in &self.shards {
+            shard.read(|m| {
+                for (k, v) in m.iter() {
+                    visit(*k, *v);
+                }
+            });
+        }
+    }
 }
 
 impl Default for HashIndex {
@@ -162,6 +176,16 @@ impl OrderedIndex {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Visit every `(key, rid)` entry in key order under the latch.
+    /// Verification/recovery path, not transactional.
+    pub fn for_each(&self, mut visit: impl FnMut(u64, Rid)) {
+        self.inner.read(|m| {
+            for (k, v) in m.iter() {
+                visit(*k, *v);
+            }
+        });
+    }
 }
 
 impl Default for OrderedIndex {
@@ -228,6 +252,28 @@ mod tests {
         idx.insert(1, Rid::new(0, 0));
         assert_eq!(idx.remove(1), Some(Rid::new(0, 0)));
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_every_entry() {
+        let hash = HashIndex::new();
+        let ordered = OrderedIndex::new();
+        for k in 0..500u64 {
+            hash.insert(k, Rid::new(k as u32, 0));
+            ordered.insert(k, Rid::new(k as u32, 0));
+        }
+        let mut sum = 0u64;
+        let mut n = 0usize;
+        hash.for_each(|k, rid| {
+            sum += k;
+            assert_eq!(rid.page as u64, k);
+            n += 1;
+        });
+        assert_eq!((n, sum), (500, (0..500).sum()));
+        // Ordered visits in key order.
+        let mut keys = Vec::new();
+        ordered.for_each(|k, _| keys.push(k));
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
     }
 
     #[test]

@@ -93,14 +93,17 @@ impl SlottedPage {
         Some(before)
     }
 
-    /// Restore a record into a specific slot (undo of a delete, or redo of
-    /// an insert during rollback bookkeeping).
-    pub fn restore(&mut self, slot: u16, data: Bytes) {
+    /// Restore a record into a specific slot (undo of a delete, or redo
+    /// of an insert during recovery). Overwrites and returns whatever the
+    /// slot held, so callers can keep live-record accounting idempotent.
+    pub fn restore(&mut self, slot: u16, data: Bytes) -> Option<Bytes> {
         let cell = &mut self.slots[slot as usize];
-        if cell.is_none() {
+        let prev = cell.take();
+        if prev.is_none() {
             self.live += 1;
         }
         *cell = Some(data);
+        prev
     }
 
     /// Iterate over `(slot, record)` pairs of occupied slots.
@@ -168,8 +171,13 @@ mod tests {
         let mut p = SlottedPage::new();
         let s = p.insert(Bytes::from_static(b"v")).unwrap();
         p.delete(s).unwrap();
-        p.restore(s, Bytes::from_static(b"v"));
+        assert_eq!(p.restore(s, Bytes::from_static(b"v")), None);
         assert_eq!(&p.read(s).unwrap()[..], b"v");
+        assert_eq!(p.live(), 1);
+        // Restoring onto an occupied slot overwrites, returns the old
+        // bytes, and leaves the live count unchanged.
+        let prev = p.restore(s, Bytes::from_static(b"w")).unwrap();
+        assert_eq!(&prev[..], b"v");
         assert_eq!(p.live(), 1);
     }
 

@@ -23,12 +23,19 @@ pub struct LogBuffer {
 impl LogBuffer {
     /// Empty buffer starting at LSN 0.
     pub fn new() -> Self {
+        Self::with_base(0)
+    }
+
+    /// Empty buffer whose first appended byte lands at LSN `base`. Used
+    /// when reopening a log manager over an existing durable prefix
+    /// (recovery), so LSNs keep meaning "byte offset in the log stream".
+    pub fn with_base(base: Lsn) -> Self {
         LogBuffer {
             inner: Latched::new(
                 Component::LogManager,
                 BufferInner {
                     pending: BytesMut::with_capacity(1 << 16),
-                    next_lsn: 0,
+                    next_lsn: base,
                 },
             ),
         }
@@ -78,6 +85,15 @@ mod tests {
         let l2 = buf.append(&LogRecord::begin(2));
         assert_eq!(l2 - l1, l1, "identical records, identical length");
         assert_eq!(buf.pending_bytes() as u64, l2);
+    }
+
+    #[test]
+    fn with_base_offsets_lsns() {
+        let buf = LogBuffer::with_base(1000);
+        assert_eq!(buf.next_lsn(), 1000);
+        let l1 = buf.append(&LogRecord::begin(1));
+        assert!(l1 > 1000);
+        assert_eq!(buf.pending_bytes() as u64, l1 - 1000);
     }
 
     #[test]

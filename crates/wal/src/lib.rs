@@ -13,15 +13,23 @@
 //!
 //! Durability itself is simulated: flushing "to disk" advances the durable
 //! LSN after an optional configurable latency, mirroring the paper's
-//! in-memory filesystem with an artificial I/O penalty.
+//! in-memory filesystem with an artificial I/O penalty. Setting
+//! [`LogConfig::retain`] keeps the flushed byte stream in an in-process
+//! device so the log can be snapshotted, torn, corrupted, and replayed by
+//! the [`recovery`] pipeline; [`FaultPlan`] injects fsync failures.
 
 mod buffer;
 mod manager;
 mod record;
+pub mod recovery;
 
 pub use buffer::LogBuffer;
-pub use manager::{LogConfig, LogManager, LogStats};
-pub use record::{LogPayload, LogRecord, Lsn};
+pub use manager::{FaultPlan, LogConfig, LogManager, LogStats, WalError};
+pub use record::{
+    DecodeEnd, DecodeError, DecodeSummary, LogPayload, LogRecord, Lsn, FRAME_HEADER, LOADER_TXN,
+    MAX_RECORD_LEN,
+};
+pub use recovery::{analyze, replay, LogAnalysis, RecoveryError, RecoveryReport, RecoveryStorage};
 
 #[cfg(test)]
 mod tests {
@@ -34,7 +42,7 @@ mod tests {
         let lsn1 = log.append(LogRecord::update(1, 7, 3, 5, b"old", b"new"));
         let lsn2 = log.append(LogRecord::commit(1));
         assert!(lsn2 > lsn1);
-        log.commit(1, lsn2);
+        log.commit(1, lsn2).unwrap();
         assert!(log.durable_lsn() >= lsn2);
     }
 
@@ -42,6 +50,7 @@ mod tests {
     fn group_commit_makes_all_waiters_durable() {
         let log = Arc::new(LogManager::new(LogConfig {
             flush_latency: std::time::Duration::from_millis(2),
+            ..LogConfig::default()
         }));
         let mut handles = Vec::new();
         for t in 0..8u64 {
@@ -50,7 +59,7 @@ mod tests {
                 for i in 0..20 {
                     let lsn = log.append(LogRecord::update(t, 1, 0, 0, b"a", b"b"));
                     let c = log.append(LogRecord::commit(t * 1000 + i));
-                    log.commit(t * 1000 + i, c);
+                    log.commit(t * 1000 + i, c).unwrap();
                     assert!(log.durable_lsn() >= lsn);
                 }
             }));

@@ -1,6 +1,25 @@
-//! The log manager: appends, group commit, simulated flush latency.
+//! The log manager: appends, group commit, simulated flush latency, an
+//! optional retained log device, and seeded fsync-failure injection.
+//!
+//! Two durability modes share one code path:
+//!
+//! - **Ephemeral** (default, `retain = false`): flushed batches are
+//!   dropped; the durable-LSN watermark is the whole durability contract.
+//!   This is the mode every performance experiment runs in — zero extra
+//!   memory traffic.
+//! - **Retained** (`retain = true`): flushed batches are appended to an
+//!   in-process device buffer, so the exact durable byte stream can be
+//!   snapshotted, truncated, corrupted, and handed to
+//!   `Database::recover`. The crash-torture harness lives here.
+//!
+//! Fault injection ([`FaultPlan`]) models an `fsync` that fails part-way:
+//! the failing flush writes only a prefix of its batch to the device
+//! (`drop_last` bytes short), the durable watermark does **not** advance,
+//! the committer gets an error instead of an acknowledgement, and the log
+//! is poisoned — every later force fails too, exactly like a real device
+//! that went away.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -9,18 +28,102 @@ use sli_profiler::{Category, Component};
 use crate::buffer::LogBuffer;
 use crate::record::{LogRecord, Lsn};
 
+/// Seeded fsync-failure plan: which flush fails and how much of its batch
+/// still reaches the device before the failure. Default is no faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based index of the physical flush that fails, if any.
+    pub fail_flush: Option<u64>,
+    /// Bytes of the failing batch that never reach the device (a partial
+    /// flush: the device keeps a torn prefix of the batch).
+    pub drop_last: usize,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fail the `n`th flush (1-based), with the last `drop_last` bytes of
+    /// that batch never reaching the device.
+    pub fn fail_nth(n: u64, drop_last: usize) -> Self {
+        FaultPlan {
+            fail_flush: Some(n),
+            drop_last,
+        }
+    }
+
+    /// Derive a plan from a seed: fails one of the first few flushes and
+    /// tears off a small suffix. Deterministic per seed.
+    pub fn seeded(seed: u64) -> Self {
+        // SplitMix64 step — cheap, stateless, good enough to spread crash
+        // points across flush indices and tear lengths.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultPlan {
+            fail_flush: Some(2 + (z % 7)),
+            drop_last: ((z >> 16) % 48) as usize,
+        }
+    }
+
+    /// Whether this plan injects anything.
+    pub fn is_armed(&self) -> bool {
+        self.fail_flush.is_some()
+    }
+}
+
+/// Errors surfaced by a log force.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// The injected fault fired on this flush: the batch (minus a torn
+    /// suffix) may be on the device, but nothing was acknowledged.
+    FlushFailed {
+        /// Which physical flush failed (1-based).
+        flush: u64,
+        /// Bytes of the batch that never reached the device.
+        dropped: usize,
+    },
+    /// A previous flush failed; the device is gone. All later forces
+    /// fail until the log is recovered.
+    Poisoned,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::FlushFailed { flush, dropped } => {
+                write!(f, "log flush #{flush} failed ({dropped} bytes torn off)")
+            }
+            WalError::Poisoned => write!(f, "log device poisoned by an earlier flush failure"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
 /// Log manager configuration.
 #[derive(Clone, Debug)]
 pub struct LogConfig {
     /// Simulated device latency per flush. Zero models the paper's
     /// in-memory log device.
     pub flush_latency: Duration,
+    /// Keep flushed bytes in an in-process device buffer so the log can
+    /// be snapshotted and recovered from. Default off: the performance
+    /// experiments only need the durable-LSN watermark.
+    pub retain: bool,
+    /// Injected fsync-failure plan (default: no faults).
+    pub fault: FaultPlan,
 }
 
 impl Default for LogConfig {
     fn default() -> Self {
         LogConfig {
             flush_latency: Duration::ZERO,
+            retain: false,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -32,10 +135,13 @@ pub struct LogStats {
     pub appends: u64,
     /// Commit forces requested.
     pub commits: u64,
-    /// Physical flushes performed (group commit batches).
+    /// Physical flushes performed (group commit batches), including the
+    /// one that failed, if any.
     pub flushes: u64,
     /// Total bytes written.
     pub bytes: u64,
+    /// Flushes that failed via the injected fault plan.
+    pub flush_failures: u64,
 }
 
 /// The write-ahead log manager.
@@ -46,26 +152,63 @@ pub struct LogManager {
     /// Serializes flushers; waiters park on the condvar for group commit.
     flush_lock: Mutex<()>,
     flush_cv: Condvar,
+    /// Flushed bytes, kept only when `config.retain`. Offset 0 of this
+    /// vector is LSN 0, so `device.len()` tracks the durable watermark
+    /// (plus any torn prefix a failed partial flush left).
+    device: Mutex<Vec<u8>>,
+    /// Set once a flush fails; later forces return `WalError::Poisoned`.
+    poisoned: AtomicBool,
     appends: AtomicU64,
     commits: AtomicU64,
     flushes: AtomicU64,
     bytes: AtomicU64,
+    flush_failures: AtomicU64,
 }
 
 impl LogManager {
-    /// Create a log manager.
+    /// Create a log manager with an empty log.
     pub fn new(config: LogConfig) -> Self {
+        Self::with_device(config, Vec::new())
+    }
+
+    /// Create a log manager whose device already holds `durable` bytes of
+    /// log (a recovered prefix). The first new append lands at LSN
+    /// `durable.len()`; the watermark starts there too.
+    pub fn with_device(config: LogConfig, durable: Vec<u8>) -> Self {
+        let base = durable.len() as Lsn;
         LogManager {
             config,
-            buffer: LogBuffer::new(),
-            durable: AtomicU64::new(0),
+            buffer: LogBuffer::with_base(base),
+            durable: AtomicU64::new(base),
             flush_lock: Mutex::new(()),
             flush_cv: Condvar::new(),
+            device: Mutex::new(durable),
+            poisoned: AtomicBool::new(false),
             appends: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            flush_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Whether flushed bytes are retained (and thus recoverable).
+    pub fn retains(&self) -> bool {
+        self.config.retain
+    }
+
+    /// Whether a flush failure has poisoned the device.
+    pub fn is_poisoned(&self) -> bool {
+        // ordering: acquire pairs with the release store in the failing
+        // flush so an observed poison implies the failure preceded it.
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the durable byte stream (requires `retain`; empty
+    /// otherwise). Includes any torn prefix a failed partial flush left
+    /// behind — exactly what a post-crash scan would read.
+    pub fn durable_snapshot(&self) -> Vec<u8> {
+        self.device.lock().clone()
     }
 
     /// Append a record to the log buffer; returns the LSN to force for
@@ -80,28 +223,54 @@ impl LogManager {
 
     /// Force the log up to `lsn` (commit point for `_txn`). Uses group
     /// commit: if another thread is flushing, wait for its flush to cover
-    /// our LSN instead of issuing another.
-    pub fn commit(&self, _txn: u64, lsn: Lsn) {
+    /// our LSN instead of issuing another. Returns `Err` when the force
+    /// could not make the record durable — the commit must NOT be
+    /// acknowledged in that case.
+    pub fn commit(&self, _txn: u64, lsn: Lsn) -> Result<(), WalError> {
         let _work = sli_profiler::enter(Category::Work(Component::LogManager));
         // ordering: monotonic statistics counter (see `append`).
         self.commits.fetch_add(1, Ordering::Relaxed);
         if self.durable_lsn() >= lsn {
-            return;
+            // Already durable — even on a poisoned device the record made
+            // it out before the failure.
+            return Ok(());
         }
         let _guard = self.flush_lock.lock();
         // Re-check under the lock: while we queued, an earlier flusher may
         // have drained a batch containing our record — the group-commit win.
         if self.durable_lsn() >= lsn {
-            return;
+            return Ok(());
+        }
+        self.flush_locked().map(|_| ())
+    }
+
+    /// Flush everything pending regardless of commit LSNs. Returns the
+    /// durable watermark after the flush. Used after bulk loads and at
+    /// the end of recovery.
+    pub fn force(&self) -> Result<Lsn, WalError> {
+        let _guard = self.flush_lock.lock();
+        if self.buffer.pending_bytes() == 0 {
+            return if self.is_poisoned() {
+                Err(WalError::Poisoned)
+            } else {
+                Ok(self.durable_lsn())
+            };
+        }
+        self.flush_locked()
+    }
+
+    /// One physical flush. Caller must hold `flush_lock`.
+    fn flush_locked(&self) -> Result<Lsn, WalError> {
+        if self.is_poisoned() {
+            return Err(WalError::Poisoned);
         }
         // We hold the flush lock: drain and flush everything pending. The
         // lock is held across the (simulated) device time, exactly like a
         // real single log device — committers arriving meanwhile queue up
         // and ride the next batch together.
         let (batch, upto) = self.buffer.drain();
-        debug_assert!(upto >= lsn, "drained log must cover our commit record");
         // ordering: monotonic statistics counters (see `append`).
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        let flush_no = self.flushes.fetch_add(1, Ordering::Relaxed) + 1;
         self.bytes.fetch_add(batch.len() as u64, Ordering::Relaxed); // ordering: see above.
         if !self.config.flush_latency.is_zero() {
             let _io = sli_profiler::enter(Category::IoWait);
@@ -109,13 +278,37 @@ impl LogManager {
             // model, not a wait on another thread. sli-lint: allow(sleep)
             std::thread::sleep(self.config.flush_latency);
         }
-        // `batch` is dropped here: the simulated device has no persistent
-        // medium. The LSN watermark is the durability contract.
+        if self.config.fault.fail_flush == Some(flush_no) {
+            // Injected fsync failure: a prefix of the batch reaches the
+            // device (a torn partial flush), the watermark stays put, and
+            // the device is dead from here on. The drained suffix is lost
+            // — just like bytes stranded in a failed controller.
+            let keep = batch.len().saturating_sub(self.config.fault.drop_last);
+            if self.config.retain {
+                self.device.lock().extend_from_slice(&batch[..keep]);
+            }
+            // ordering: monotonic statistics counter (see `append`).
+            self.flush_failures.fetch_add(1, Ordering::Relaxed);
+            // ordering: release pairs with the acquire in `is_poisoned` —
+            // whoever sees the poison sees the failed flush's effects.
+            self.poisoned.store(true, Ordering::Release);
+            return Err(WalError::FlushFailed {
+                flush: flush_no,
+                dropped: batch.len() - keep,
+            });
+        }
+        if self.config.retain {
+            self.device.lock().extend_from_slice(&batch);
+        }
+        // In ephemeral mode `batch` is simply dropped: the simulated
+        // device has no persistent medium and the LSN watermark is the
+        // durability contract.
         // ordering: AcqRel — the release half publishes the flushed batch
         // to `durable_lsn` readers; acquire orders against a concurrent
         // committer's fetch_max of a later watermark.
         self.durable.fetch_max(upto, Ordering::AcqRel);
         self.flush_cv.notify_all();
+        Ok(upto)
     }
 
     /// Append an abort record (no force needed; aborts are lazy).
@@ -125,8 +318,8 @@ impl LogManager {
 
     /// Highest durable LSN.
     pub fn durable_lsn(&self) -> Lsn {
-        // ordering: acquire pairs with the fetch_max in `commit` so an
-        // observed watermark implies the records below it were flushed.
+        // ordering: acquire pairs with the fetch_max in `flush_locked` so
+        // an observed watermark implies the records below it were flushed.
         self.durable.load(Ordering::Acquire)
     }
 
@@ -139,6 +332,7 @@ impl LogManager {
             commits: self.commits.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            flush_failures: self.flush_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +341,8 @@ impl std::fmt::Debug for LogManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LogManager")
             .field("durable_lsn", &self.durable_lsn())
+            .field("retain", &self.config.retain)
+            .field("poisoned", &self.is_poisoned())
             .field("stats", &self.stats())
             .finish()
     }
@@ -156,12 +352,19 @@ impl std::fmt::Debug for LogManager {
 mod tests {
     use super::*;
 
+    fn retained() -> LogConfig {
+        LogConfig {
+            retain: true,
+            ..LogConfig::default()
+        }
+    }
+
     #[test]
     fn commit_advances_durable_watermark() {
         let log = LogManager::new(LogConfig::default());
         let lsn = log.append(LogRecord::commit(1));
         assert_eq!(log.durable_lsn(), 0);
-        log.commit(1, lsn);
+        log.commit(1, lsn).unwrap();
         assert_eq!(log.durable_lsn(), lsn);
     }
 
@@ -169,9 +372,9 @@ mod tests {
     fn redundant_commit_is_a_noop() {
         let log = LogManager::new(LogConfig::default());
         let lsn = log.append(LogRecord::commit(1));
-        log.commit(1, lsn);
+        log.commit(1, lsn).unwrap();
         let flushes = log.stats().flushes;
-        log.commit(1, lsn);
+        log.commit(1, lsn).unwrap();
         assert_eq!(log.stats().flushes, flushes);
     }
 
@@ -188,10 +391,134 @@ mod tests {
     fn flush_latency_is_respected() {
         let log = LogManager::new(LogConfig {
             flush_latency: Duration::from_millis(10),
+            ..LogConfig::default()
         });
         let lsn = log.append(LogRecord::commit(1));
         let t0 = std::time::Instant::now();
-        log.commit(1, lsn);
+        log.commit(1, lsn).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn retained_device_holds_exactly_the_flushed_bytes() {
+        let log = LogManager::new(retained());
+        let lsn = log.append(LogRecord::commit(1));
+        assert!(log.durable_snapshot().is_empty(), "nothing flushed yet");
+        log.commit(1, lsn).unwrap();
+        let snap = log.durable_snapshot();
+        assert_eq!(snap.len() as u64, lsn);
+        let sum = LogRecord::decode_all(&snap);
+        assert_eq!(sum.records, vec![LogRecord::commit(1)]);
+    }
+
+    #[test]
+    fn ephemeral_mode_retains_nothing() {
+        let log = LogManager::new(LogConfig::default());
+        let lsn = log.append(LogRecord::commit(1));
+        log.commit(1, lsn).unwrap();
+        assert!(log.durable_snapshot().is_empty());
+    }
+
+    #[test]
+    fn failed_flush_never_acknowledges_a_commit() {
+        let log = LogManager::new(LogConfig {
+            retain: true,
+            fault: FaultPlan::fail_nth(1, 0),
+            ..LogConfig::default()
+        });
+        let lsn = log.append(LogRecord::commit(7));
+        let err = log.commit(7, lsn).unwrap_err();
+        assert_eq!(
+            err,
+            WalError::FlushFailed {
+                flush: 1,
+                dropped: 0
+            }
+        );
+        // The watermark did not move: the commit was not acknowledged.
+        assert_eq!(log.durable_lsn(), 0);
+        assert!(log.is_poisoned());
+        assert_eq!(log.stats().flush_failures, 1);
+        // Later commits fail too (device is gone).
+        let lsn2 = log.append(LogRecord::commit(8));
+        assert_eq!(log.commit(8, lsn2), Err(WalError::Poisoned));
+        // But an LSN that was already durable stays acknowledged.
+        assert_eq!(log.commit(9, 0), Ok(()));
+    }
+
+    #[test]
+    fn partial_flush_leaves_a_torn_prefix_on_the_device() {
+        let drop_last = 3;
+        let log = LogManager::new(LogConfig {
+            retain: true,
+            fault: FaultPlan::fail_nth(1, drop_last),
+            ..LogConfig::default()
+        });
+        let lsn = log.append(LogRecord::update(1, 2, 3, 4, b"before", b"after"));
+        let err = log.force().unwrap_err();
+        assert_eq!(
+            err,
+            WalError::FlushFailed {
+                flush: 1,
+                dropped: drop_last
+            }
+        );
+        let snap = log.durable_snapshot();
+        assert_eq!(snap.len() as u64, lsn - drop_last as u64);
+        // The torn prefix decodes to zero records and a Torn end.
+        let sum = LogRecord::decode_all(&snap);
+        assert!(sum.records.is_empty());
+        assert_eq!(
+            sum.end,
+            crate::record::DecodeEnd::Torn { missing: drop_last }
+        );
+    }
+
+    #[test]
+    fn force_flushes_without_a_commit_lsn() {
+        let log = LogManager::new(retained());
+        log.append(LogRecord::begin(1));
+        let lsn = log.append(LogRecord::begin(2));
+        assert_eq!(log.force().unwrap(), lsn);
+        assert_eq!(log.durable_lsn(), lsn);
+        // Idempotent when nothing is pending.
+        assert_eq!(log.force().unwrap(), lsn);
+        assert_eq!(log.stats().flushes, 1);
+    }
+
+    #[test]
+    fn with_device_resumes_lsns_after_the_prefix() {
+        let mut prefix = bytes::BytesMut::new();
+        LogRecord::begin(1).encode(&mut prefix);
+        LogRecord::commit(1).encode(&mut prefix);
+        let base = prefix.len() as u64;
+        let log = LogManager::with_device(retained(), prefix.to_vec());
+        assert_eq!(log.durable_lsn(), base);
+        let lsn = log.append(LogRecord::commit(2));
+        assert!(lsn > base);
+        log.commit(2, lsn).unwrap();
+        let snap = log.durable_snapshot();
+        assert_eq!(snap.len() as u64, lsn);
+        let sum = LogRecord::decode_all(&snap);
+        assert_eq!(
+            sum.records,
+            vec![
+                LogRecord::begin(1),
+                LogRecord::commit(1),
+                LogRecord::commit(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_deterministic_and_distinct() {
+        assert_eq!(FaultPlan::seeded(42), FaultPlan::seeded(42));
+        let plans: Vec<FaultPlan> = (0..16).map(FaultPlan::seeded).collect();
+        assert!(plans.iter().all(|p| p.is_armed()));
+        assert!(
+            plans.windows(2).any(|w| w[0] != w[1]),
+            "seeds should spread crash points"
+        );
+        assert!(!FaultPlan::none().is_armed());
     }
 }

@@ -1,9 +1,36 @@
-//! Log records and LSNs.
+//! Log records, LSNs, and the checksummed on-log frame format.
+//!
+//! Every record is written as a self-describing frame:
+//!
+//! ```text
+//! [len: u32le][crc: u32le][body ...]          frame = 8 + len bytes
+//! body = [txn: u64le][tag: u8][payload ...]
+//! ```
+//!
+//! `len` is the body length and `crc` is CRC32 (IEEE) over the
+//! little-endian `len` bytes followed by the body, so a bit flip anywhere
+//! in the frame — including the length prefix itself — fails verification.
+//! [`LogRecord::decode_all`] classifies why a scan stopped
+//! ([`DecodeEnd`]): a torn tail (crash mid-write) is distinguishable from
+//! corruption (checksum mismatch) and from a clean end-of-log, which is
+//! what the recovery pass and the crash-torture harness assert against.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// Log sequence number: byte offset of the record's end in the log stream.
 pub type Lsn = u64;
+
+/// Transaction id reserved for initial bulk loads. The loader never
+/// writes a Commit record; recovery treats it as an implicit winner.
+pub const LOADER_TXN: u64 = 0;
+
+/// Upper bound on an encoded record body. Real records are tiny (row
+/// images of a few hundred bytes); a length prefix beyond this bound is
+/// corruption, not a record the rest of the log could be waiting on.
+pub const MAX_RECORD_LEN: usize = 1 << 24;
+
+/// Bytes of frame header (`len` + `crc`) preceding every record body.
+pub const FRAME_HEADER: usize = 8;
 
 /// What a log record describes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,6 +62,10 @@ pub enum LogPayload {
         page: u32,
         /// Slot on the page.
         slot: u16,
+        /// Primary-index key the record was published under.
+        key: u64,
+        /// Ordered-index key, when the table maintains one.
+        okey: Option<u64>,
         /// The inserted bytes.
         data: Bytes,
     },
@@ -46,8 +77,28 @@ pub enum LogPayload {
         page: u32,
         /// Slot on the page.
         slot: u16,
+        /// Primary-index key the record was removed from.
+        key: u64,
+        /// Ordered-index key, when the table maintains one.
+        okey: Option<u64>,
         /// The deleted bytes.
         before: Bytes,
+    },
+    /// Table creation, so recovery can rebuild the catalog from the log
+    /// alone. Table ids are assigned sequentially; recovery asserts the
+    /// replayed id matches.
+    Create {
+        /// Id assigned to the table.
+        table: u32,
+        /// Table name (UTF-8).
+        name: Bytes,
+    },
+    /// Recovery-complete checkpoint: everything before this record has
+    /// been replayed and every loser compensated. `next_txn` restores the
+    /// transaction-id floor.
+    Checkpoint {
+        /// First transaction id to hand out after recovery.
+        next_txn: u64,
     },
 }
 
@@ -58,6 +109,55 @@ pub struct LogRecord {
     pub txn: u64,
     /// The logged event.
     pub payload: LogPayload,
+}
+
+/// Why [`LogRecord::decode`] could not produce a record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends mid-frame: a crash tore the tail off the log.
+    TornTail {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the frame header claims the full frame needs.
+        need: usize,
+    },
+    /// The frame is complete but its checksum does not verify.
+    BadChecksum {
+        /// CRC stored in the frame header.
+        stored: u32,
+        /// CRC computed over the frame contents.
+        computed: u32,
+    },
+    /// The checksum verified (or the length was insane) but the body is
+    /// not a record this version can parse.
+    BadRecord,
+}
+
+/// Why a [`LogRecord::decode_all`] scan stopped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecodeEnd {
+    /// The buffer ended exactly on a record boundary.
+    #[default]
+    Clean,
+    /// The buffer ends mid-frame (crash during a flush).
+    Torn {
+        /// Additional bytes the final partial frame needed.
+        missing: usize,
+    },
+    /// A complete frame failed its checksum or failed to parse.
+    Corrupt,
+}
+
+/// Result of scanning a log prefix: the decoded records, how many bytes
+/// of whole valid frames were consumed, and why the scan stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeSummary {
+    /// Every whole, checksum-verified record, in log order.
+    pub records: Vec<LogRecord>,
+    /// Bytes consumed; also the LSN of the last valid record's end.
+    pub consumed: usize,
+    /// Why the scan stopped.
+    pub end: DecodeEnd,
 }
 
 impl LogRecord {
@@ -100,37 +200,78 @@ impl LogRecord {
     }
 
     /// Insert record.
-    pub fn insert(txn: u64, table: u32, page: u32, slot: u16, data: &[u8]) -> Self {
+    pub fn insert(
+        txn: u64,
+        table: u32,
+        page: u32,
+        slot: u16,
+        key: u64,
+        okey: Option<u64>,
+        data: &[u8],
+    ) -> Self {
         LogRecord {
             txn,
             payload: LogPayload::Insert {
                 table,
                 page,
                 slot,
+                key,
+                okey,
                 data: Bytes::copy_from_slice(data),
             },
         }
     }
 
     /// Delete record.
-    pub fn delete(txn: u64, table: u32, page: u32, slot: u16, before: &[u8]) -> Self {
+    pub fn delete(
+        txn: u64,
+        table: u32,
+        page: u32,
+        slot: u16,
+        key: u64,
+        okey: Option<u64>,
+        before: &[u8],
+    ) -> Self {
         LogRecord {
             txn,
             payload: LogPayload::Delete {
                 table,
                 page,
                 slot,
+                key,
+                okey,
                 before: Bytes::copy_from_slice(before),
             },
         }
     }
 
-    /// Serialize into `out`, returning the encoded length. The format is a
-    /// simple tagged binary layout; [`LogRecord::decode`] is its exact
-    /// inverse — the first step toward crash recovery (the redo/undo pass
-    /// itself is still unimplemented; see the ROADMAP).
+    /// Table-creation record (always owned by the loader txn).
+    pub fn create(table: u32, name: &str) -> Self {
+        LogRecord {
+            txn: LOADER_TXN,
+            payload: LogPayload::Create {
+                table,
+                name: Bytes::copy_from_slice(name.as_bytes()),
+            },
+        }
+    }
+
+    /// Recovery-complete checkpoint record.
+    pub fn checkpoint(next_txn: u64) -> Self {
+        LogRecord {
+            txn: LOADER_TXN,
+            payload: LogPayload::Checkpoint { next_txn },
+        }
+    }
+
+    /// Serialize into `out` as one checksummed frame, returning the total
+    /// encoded length (header + body). [`LogRecord::decode`] is the exact
+    /// inverse.
     pub fn encode(&self, out: &mut BytesMut) -> usize {
         let start = out.len();
+        // Reserve the frame header; len and crc are patched in below once
+        // the body length is known.
+        out.put_u64_le(0);
         out.put_u64_le(self.txn);
         match &self.payload {
             LogPayload::Begin => out.put_u8(0),
@@ -156,12 +297,16 @@ impl LogRecord {
                 table,
                 page,
                 slot,
+                key,
+                okey,
                 data,
             } => {
                 out.put_u8(4);
                 out.put_u32_le(*table);
                 out.put_u32_le(*page);
                 out.put_u16_le(*slot);
+                out.put_u64_le(*key);
+                put_okey(out, *okey);
                 out.put_u32_le(data.len() as u32);
                 out.put_slice(data);
             }
@@ -169,26 +314,73 @@ impl LogRecord {
                 table,
                 page,
                 slot,
+                key,
+                okey,
                 before,
             } => {
                 out.put_u8(5);
                 out.put_u32_le(*table);
                 out.put_u32_le(*page);
                 out.put_u16_le(*slot);
+                out.put_u64_le(*key);
+                put_okey(out, *okey);
                 out.put_u32_le(before.len() as u32);
                 out.put_slice(before);
             }
+            LogPayload::Create { table, name } => {
+                out.put_u8(6);
+                out.put_u32_le(*table);
+                out.put_u32_le(name.len() as u32);
+                out.put_slice(name);
+            }
+            LogPayload::Checkpoint { next_txn } => {
+                out.put_u8(7);
+                out.put_u64_le(*next_txn);
+            }
         }
+        let body_len = out.len() - start - FRAME_HEADER;
+        let len_le = (body_len as u32).to_le_bytes();
+        out[start..start + 4].copy_from_slice(&len_le);
+        let crc = crc32_frame(&len_le, &out[start + FRAME_HEADER..]);
+        out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
         out.len() - start
     }
 
-    /// Decode one record from the front of `buf`, returning it and the
-    /// number of bytes consumed — the exact inverse of
-    /// [`LogRecord::encode`]. Returns `None` when `buf` is truncated
-    /// mid-record or starts with an unknown tag, so a recovery scan can
-    /// stop cleanly at a torn tail.
-    pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
-        let mut r = Reader { buf, pos: 0 };
+    /// Decode one framed record from the front of `buf`, returning it and
+    /// the number of bytes consumed (header + body).
+    pub fn decode(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
+        if buf.len() < FRAME_HEADER {
+            return Err(DecodeError::TornTail {
+                have: buf.len(),
+                need: FRAME_HEADER,
+            });
+        }
+        let len_le: [u8; 4] = buf[..4].try_into().unwrap();
+        let body_len = u32::from_le_bytes(len_le) as usize;
+        if body_len > MAX_RECORD_LEN {
+            // A length no real record could have: corruption, not a tail
+            // the next flush would have completed.
+            return Err(DecodeError::BadRecord);
+        }
+        let need = FRAME_HEADER + body_len;
+        if buf.len() < need {
+            return Err(DecodeError::TornTail {
+                have: buf.len(),
+                need,
+            });
+        }
+        let stored = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let body = &buf[FRAME_HEADER..need];
+        let computed = crc32_frame(&len_le, body);
+        if stored != computed {
+            return Err(DecodeError::BadChecksum { stored, computed });
+        }
+        let rec = Self::decode_body(body).ok_or(DecodeError::BadRecord)?;
+        Ok((rec, need))
+    }
+
+    fn decode_body(body: &[u8]) -> Option<LogRecord> {
+        let mut r = Reader { buf: body, pos: 0 };
         let txn = r.u64()?;
         let payload = match r.u8()? {
             0 => LogPayload::Begin,
@@ -208,40 +400,99 @@ impl LogRecord {
             }
             4 => {
                 let (table, page, slot) = (r.u32()?, r.u32()?, r.u16()?);
+                let key = r.u64()?;
+                let okey = r.okey()?;
                 let data = r.bytes()?;
                 LogPayload::Insert {
                     table,
                     page,
                     slot,
+                    key,
+                    okey,
                     data,
                 }
             }
             5 => {
                 let (table, page, slot) = (r.u32()?, r.u32()?, r.u16()?);
+                let key = r.u64()?;
+                let okey = r.okey()?;
                 let before = r.bytes()?;
                 LogPayload::Delete {
                     table,
                     page,
                     slot,
+                    key,
+                    okey,
                     before,
                 }
             }
+            6 => {
+                let table = r.u32()?;
+                let name = r.bytes()?;
+                LogPayload::Create { table, name }
+            }
+            7 => LogPayload::Checkpoint { next_txn: r.u64()? },
             _ => return None,
         };
-        Some((LogRecord { txn, payload }, r.pos))
+        if r.pos != body.len() {
+            // Trailing garbage inside a checksummed frame means the frame
+            // was produced by something other than `encode`.
+            return None;
+        }
+        Some(LogRecord { txn, payload })
     }
 
-    /// Decode every whole record at the front of `buf`, stopping at the
-    /// first torn or unknown record. Returns the records and the number of
-    /// bytes consumed.
-    pub fn decode_all(buf: &[u8]) -> (Vec<LogRecord>, usize) {
-        let mut out = Vec::new();
+    /// Decode every whole, checksum-verified record at the front of `buf`
+    /// and report *why* the scan stopped: a clean end-of-log, a torn tail
+    /// (with how many bytes the partial frame was missing), or corruption.
+    pub fn decode_all(buf: &[u8]) -> DecodeSummary {
+        let mut records = Vec::new();
         let mut pos = 0;
-        while let Some((rec, n)) = LogRecord::decode(&buf[pos..]) {
-            out.push(rec);
-            pos += n;
+        let end = loop {
+            if pos == buf.len() {
+                break DecodeEnd::Clean;
+            }
+            match LogRecord::decode(&buf[pos..]) {
+                Ok((rec, n)) => {
+                    records.push(rec);
+                    pos += n;
+                }
+                Err(DecodeError::TornTail { have, need }) => {
+                    break DecodeEnd::Torn {
+                        missing: need - have,
+                    };
+                }
+                Err(_) => break DecodeEnd::Corrupt,
+            }
+        };
+        DecodeSummary {
+            records,
+            consumed: pos,
+            end,
         }
-        (out, pos)
+    }
+
+    /// Byte offsets of every record boundary in `buf`, starting with 0.
+    /// The crash-torture harness cuts the log at (kill) or between (torn
+    /// tail) these offsets.
+    pub fn boundaries(buf: &[u8]) -> Vec<usize> {
+        let mut out = vec![0];
+        let mut pos = 0;
+        while let Ok((_, n)) = LogRecord::decode(&buf[pos..]) {
+            pos += n;
+            out.push(pos);
+        }
+        out
+    }
+}
+
+fn put_okey(out: &mut BytesMut, okey: Option<u64>) {
+    match okey {
+        Some(k) => {
+            out.put_u8(1);
+            out.put_u64_le(k);
+        }
+        None => out.put_u8(0),
     }
 }
 
@@ -269,6 +520,14 @@ impl Reader<'_> {
     fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+    /// A presence flag byte optionally followed by a `u64`.
+    fn okey(&mut self) -> Option<Option<u64>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.u64()?)),
+            _ => None,
+        }
+    }
     /// A `u32` length prefix followed by that many payload bytes.
     fn bytes(&mut self) -> Option<Bytes> {
         let len = self.u32()? as usize;
@@ -276,37 +535,87 @@ impl Reader<'_> {
     }
 }
 
+/// CRC32 (IEEE 802.3, reflected) over the frame's length prefix and body.
+fn crc32_frame(len_le: &[u8; 4], body: &[u8]) -> u32 {
+    let mut crc = crc32_update(!0u32, len_le);
+    crc = crc32_update(crc, body);
+    !crc
+}
+
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        let idx = (crc ^ b as u32) & 0xff;
+        crc = CRC_TABLE[idx as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn encode_produces_nonempty_tagged_bytes() {
-        let mut buf = BytesMut::new();
-        let n1 = LogRecord::begin(1).encode(&mut buf);
-        let n2 = LogRecord::update(1, 2, 3, 4, b"before", b"after").encode(&mut buf);
-        assert_eq!(buf.len(), n1 + n2);
-        assert!(n2 > n1);
-        // Tag byte of the first record sits right after the txn id.
-        assert_eq!(buf[8], 0);
-    }
-
-    #[test]
-    fn decode_inverts_encode_for_every_payload_kind() {
-        let records = [
+    fn all_kinds() -> Vec<LogRecord> {
+        vec![
             LogRecord::begin(1),
             LogRecord::commit(u64::MAX),
             LogRecord::abort(0),
             LogRecord::update(7, 1, 2, 3, b"before", b"after"),
             LogRecord::update(7, 1, 2, 3, b"", b""),
-            LogRecord::insert(9, 4, 5, 6, b"data"),
-            LogRecord::delete(11, 7, 8, 9, b"gone"),
-        ];
+            LogRecord::insert(9, 4, 5, 6, 42, None, b"data"),
+            LogRecord::insert(9, 4, 5, 6, 42, Some(77), b"data"),
+            LogRecord::delete(11, 7, 8, 9, 43, Some(1 << 40), b"gone"),
+            LogRecord::delete(11, 7, 8, 9, 43, None, b"gone"),
+            LogRecord::create(3, "accounts"),
+            LogRecord::checkpoint(12345),
+        ]
+    }
+
+    #[test]
+    fn encode_produces_framed_bytes() {
+        let mut buf = BytesMut::new();
+        let n1 = LogRecord::begin(1).encode(&mut buf);
+        let n2 = LogRecord::update(1, 2, 3, 4, b"before", b"after").encode(&mut buf);
+        assert_eq!(buf.len(), n1 + n2);
+        assert!(n2 > n1);
+        // Frame header: len = body length; Begin body = 8 txn + 1 tag.
+        assert_eq!(u32::from_le_bytes(buf[..4].try_into().unwrap()), 9);
+        assert_eq!(n1, FRAME_HEADER + 9);
+        // Tag byte of the first record sits right after the frame header
+        // and txn id.
+        assert_eq!(buf[FRAME_HEADER + 8], 0);
+    }
+
+    #[test]
+    fn decode_inverts_encode_for_every_payload_kind() {
+        let records = all_kinds();
         let mut buf = BytesMut::new();
         let lens: Vec<usize> = records.iter().map(|r| r.encode(&mut buf)).collect();
-        let (decoded, consumed) = LogRecord::decode_all(&buf);
-        assert_eq!(decoded, records);
-        assert_eq!(consumed, buf.len());
+        let sum = LogRecord::decode_all(&buf);
+        assert_eq!(sum.records, records);
+        assert_eq!(sum.consumed, buf.len());
+        assert_eq!(sum.end, DecodeEnd::Clean);
         // Per-record lengths agree with what encode reported.
         let mut pos = 0;
         for (rec, len) in records.iter().zip(lens) {
@@ -318,38 +627,109 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_torn_tails_and_unknown_tags() {
+    fn every_strict_prefix_is_a_torn_tail() {
         let mut buf = BytesMut::new();
         LogRecord::update(1, 2, 3, 4, b"before", b"after").encode(&mut buf);
-        // Every strict prefix is a torn record.
         for cut in 0..buf.len() {
-            assert_eq!(LogRecord::decode(&buf[..cut]), None, "cut at {cut}");
+            match LogRecord::decode(&buf[..cut]) {
+                Err(DecodeError::TornTail { have, need }) => {
+                    assert_eq!(have, cut);
+                    assert!(need > cut, "cut at {cut}");
+                }
+                other => panic!("cut at {cut}: {other:?}"),
+            }
         }
-        // Unknown tag byte.
+    }
+
+    #[test]
+    fn corruption_is_detected_not_decoded() {
+        let mut buf = BytesMut::new();
+        LogRecord::insert(5, 1, 1, 1, 9, None, b"xyz").encode(&mut buf);
+        // Flip one bit of the body: checksum mismatch.
         let mut bad = buf.to_vec();
-        bad[8] = 99;
-        assert_eq!(LogRecord::decode(&bad), None);
-        // decode_all stops cleanly at the torn tail.
-        let mut two = BytesMut::new();
-        LogRecord::begin(5).encode(&mut two);
-        let first_len = two.len();
-        LogRecord::insert(5, 1, 1, 1, b"xyz").encode(&mut two);
-        let (recs, consumed) = LogRecord::decode_all(&two[..two.len() - 1]);
-        assert_eq!(recs, vec![LogRecord::begin(5)]);
-        assert_eq!(consumed, first_len);
+        bad[FRAME_HEADER + 8] ^= 1;
+        assert!(matches!(
+            LogRecord::decode(&bad),
+            Err(DecodeError::BadChecksum { .. })
+        ));
+        // An insane length prefix is corruption, not a torn tail.
+        let mut insane = buf.to_vec();
+        insane[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(LogRecord::decode(&insane), Err(DecodeError::BadRecord));
+        // A frame whose checksum was recomputed over an unknown tag still
+        // fails to parse.
+        let mut retagged = buf.to_vec();
+        retagged[FRAME_HEADER + 8] = 99;
+        let len_le: [u8; 4] = retagged[..4].try_into().unwrap();
+        let crc = crc32_frame(&len_le, &retagged[FRAME_HEADER..]);
+        retagged[4..8].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(LogRecord::decode(&retagged), Err(DecodeError::BadRecord));
+    }
+
+    #[test]
+    fn decode_all_reports_why_it_stopped() {
+        let mut buf = BytesMut::new();
+        LogRecord::begin(5).encode(&mut buf);
+        let first_len = buf.len();
+        LogRecord::insert(5, 1, 1, 1, 2, None, b"xyz").encode(&mut buf);
+        // Torn tail: one byte missing from the second frame.
+        let sum = LogRecord::decode_all(&buf[..buf.len() - 1]);
+        assert_eq!(sum.records, vec![LogRecord::begin(5)]);
+        assert_eq!(sum.consumed, first_len);
+        assert_eq!(sum.end, DecodeEnd::Torn { missing: 1 });
+        // Corrupt second frame: scan keeps the valid prefix.
+        let mut bad = buf.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let sum = LogRecord::decode_all(&bad);
+        assert_eq!(sum.records, vec![LogRecord::begin(5)]);
+        assert_eq!(sum.consumed, first_len);
+        assert_eq!(sum.end, DecodeEnd::Corrupt);
+        // Intact log: clean end.
+        assert_eq!(LogRecord::decode_all(&buf).end, DecodeEnd::Clean);
+    }
+
+    #[test]
+    fn boundaries_enumerate_frame_offsets() {
+        let mut buf = BytesMut::new();
+        let mut expect = vec![0usize];
+        for rec in all_kinds() {
+            rec.encode(&mut buf);
+            expect.push(buf.len());
+        }
+        assert_eq!(LogRecord::boundaries(&buf), expect);
     }
 
     #[test]
     fn constructors_set_payloads() {
         assert_eq!(LogRecord::commit(5).payload, LogPayload::Commit);
         assert_eq!(LogRecord::abort(5).payload, LogPayload::Abort);
-        match LogRecord::insert(5, 1, 2, 3, b"xyz").payload {
-            LogPayload::Insert { data, .. } => assert_eq!(&data[..], b"xyz"),
+        match LogRecord::insert(5, 1, 2, 3, 7, Some(8), b"xyz").payload {
+            LogPayload::Insert {
+                data, key, okey, ..
+            } => {
+                assert_eq!(&data[..], b"xyz");
+                assert_eq!((key, okey), (7, Some(8)));
+            }
             other => panic!("wrong payload {other:?}"),
         }
-        match LogRecord::delete(5, 1, 2, 3, b"xyz").payload {
-            LogPayload::Delete { before, .. } => assert_eq!(&before[..], b"xyz"),
+        match LogRecord::delete(5, 1, 2, 3, 7, None, b"xyz").payload {
+            LogPayload::Delete { before, key, .. } => {
+                assert_eq!(&before[..], b"xyz");
+                assert_eq!(key, 7);
+            }
             other => panic!("wrong payload {other:?}"),
         }
+        assert_eq!(LogRecord::create(2, "t").txn, LOADER_TXN);
+        match LogRecord::checkpoint(9).payload {
+            LogPayload::Checkpoint { next_txn } => assert_eq!(next_txn, 9),
+            other => panic!("wrong payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // CRC32("123456789") = 0xCBF43926 (IEEE check value).
+        assert_eq!(!crc32_update(!0u32, b"123456789"), 0xCBF4_3926);
     }
 }

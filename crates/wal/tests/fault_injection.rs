@@ -1,0 +1,111 @@
+//! fsync-failure injection suite: a failed flush must never acknowledge
+//! a commit, the device must keep only a (possibly torn) prefix of the
+//! log stream, and every acknowledged commit must be decodable from the
+//! device — even with concurrent committers racing the failing flush.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sli_wal::{DecodeEnd, FaultPlan, LogConfig, LogManager, LogPayload, LogRecord, WalError};
+
+fn retained(fault: FaultPlan) -> LogConfig {
+    LogConfig {
+        retain: true,
+        fault,
+        ..LogConfig::default()
+    }
+}
+
+#[test]
+fn acknowledged_commits_survive_on_the_device() {
+    // Commit 1 rides flush 1 (ok); the fault kills flush 2; commits after
+    // that see a poisoned device.
+    let log = LogManager::new(retained(FaultPlan::fail_nth(2, 5)));
+    let c1 = log.append(LogRecord::commit(1));
+    log.commit(1, c1).unwrap();
+    let c2 = log.append(LogRecord::commit(2));
+    assert!(matches!(
+        log.commit(2, c2),
+        Err(WalError::FlushFailed { flush: 2, .. })
+    ));
+    let c3 = log.append(LogRecord::commit(3));
+    assert_eq!(log.commit(3, c3), Err(WalError::Poisoned));
+
+    // Only the acknowledged commit is durable; the device's decodable
+    // prefix contains exactly it.
+    assert_eq!(log.durable_lsn(), c1);
+    let sum = LogRecord::decode_all(&log.durable_snapshot());
+    let committed: Vec<u64> = sum
+        .records
+        .iter()
+        .filter(|r| r.payload == LogPayload::Commit)
+        .map(|r| r.txn)
+        .collect();
+    assert_eq!(committed, vec![1]);
+    assert!(matches!(sum.end, DecodeEnd::Torn { .. }));
+}
+
+#[test]
+fn concurrent_committers_acks_imply_durability() {
+    // 4 threads x 30 commits against a log whose 3rd flush fails. Every
+    // commit acknowledged Ok must decode out of the device snapshot;
+    // every Err must not have advanced the watermark past its LSN.
+    let log = Arc::new(LogManager::new(retained(FaultPlan::fail_nth(3, 9))));
+    let acked = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let log = Arc::clone(&log);
+        let acked = Arc::clone(&acked);
+        handles.push(std::thread::spawn(move || {
+            let mut oks = Vec::new();
+            for i in 0..30u64 {
+                let txn = 1 + t * 100 + i;
+                let lsn = log.append(LogRecord::commit(txn));
+                match log.commit(txn, lsn) {
+                    Ok(()) => {
+                        assert!(log.durable_lsn() >= lsn, "ack without durability");
+                        acked.fetch_add(1, Ordering::Relaxed);
+                        oks.push(txn);
+                    }
+                    Err(_) => assert!(log.is_poisoned()),
+                }
+            }
+            oks
+        }));
+    }
+    let mut acked_txns = Vec::new();
+    for h in handles {
+        acked_txns.extend(h.join().unwrap());
+    }
+    assert_eq!(acked_txns.len() as u64, acked.load(Ordering::Relaxed));
+
+    let snap = log.durable_snapshot();
+    let sum = LogRecord::decode_all(&snap);
+    let durable: std::collections::HashSet<u64> = sum
+        .records
+        .iter()
+        .filter(|r| r.payload == LogPayload::Commit)
+        .map(|r| r.txn)
+        .collect();
+    for txn in &acked_txns {
+        assert!(durable.contains(txn), "acked txn {txn} missing from device");
+    }
+    // The decodable prefix never extends past the watermark (the torn
+    // suffix of the failed flush sits beyond it).
+    assert!(sum.consumed as u64 <= log.durable_lsn());
+    assert_eq!(log.stats().flush_failures, 1);
+}
+
+#[test]
+fn unarmed_plans_never_fire() {
+    let log = LogManager::new(retained(FaultPlan::none()));
+    for txn in 1..=50u64 {
+        let lsn = log.append(LogRecord::commit(txn));
+        log.commit(txn, lsn).unwrap();
+    }
+    assert!(!log.is_poisoned());
+    assert_eq!(log.stats().flush_failures, 0);
+    let sum = LogRecord::decode_all(&log.durable_snapshot());
+    assert_eq!(sum.end, DecodeEnd::Clean);
+    assert_eq!(sum.records.len(), 50);
+}

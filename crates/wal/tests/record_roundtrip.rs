@@ -1,31 +1,40 @@
-//! Property test: `LogRecord::decode` is the exact inverse of
-//! `LogRecord::encode`, for arbitrary payloads and arbitrary record
-//! sequences — the correctness foundation a future redo/undo pass will
-//! stand on (recovery itself is still out of scope; see the ROADMAP).
+//! Property tests for the framed, checksummed record codec:
+//! `LogRecord::decode` is the exact inverse of `LogRecord::encode`, a
+//! torn tail is always reported as such, and any single flipped bit in
+//! an encoded stream is detected — corrupted records are never decoded,
+//! so recovery can never replay one.
 
 use bytes::BytesMut;
 use proptest::prelude::*;
-use sli_wal::{LogPayload, LogRecord};
+use sli_wal::{DecodeEnd, DecodeError, LogPayload, LogRecord};
 
 /// Strategy over one arbitrary log record: the tag selects the payload
 /// kind, the tuples feed its fields, and the byte vectors exercise
 /// zero-length through multi-hundred-byte images.
 fn arb_record() -> impl Strategy<Value = LogRecord> {
     (
-        0u8..6,
+        0u8..8,
         0u64..u64::MAX,
         (0u32..1000, 0u32..1000, 0u16..1000),
+        (0u64..u64::MAX, 0u64..u64::MAX, prop::bool::ANY),
         prop::collection::vec(0u8..=255, 0..300),
         prop::collection::vec(0u8..=255, 0..300),
     )
-        .prop_map(|(tag, txn, (table, page, slot), a, b)| match tag {
-            0 => LogRecord::begin(txn),
-            1 => LogRecord::commit(txn),
-            2 => LogRecord::abort(txn),
-            3 => LogRecord::update(txn, table, page, slot, &a, &b),
-            4 => LogRecord::insert(txn, table, page, slot, &a),
-            _ => LogRecord::delete(txn, table, page, slot, &a),
-        })
+        .prop_map(
+            |(tag, txn, (table, page, slot), (key, okey_val, has_okey), a, b)| {
+                let okey = has_okey.then_some(okey_val);
+                match tag {
+                    0 => LogRecord::begin(txn),
+                    1 => LogRecord::commit(txn),
+                    2 => LogRecord::abort(txn),
+                    3 => LogRecord::update(txn, table, page, slot, &a, &b),
+                    4 => LogRecord::insert(txn, table, page, slot, key, okey, &a),
+                    5 => LogRecord::delete(txn, table, page, slot, key, okey, &a),
+                    6 => LogRecord::create(table, std::str::from_utf8(&a).unwrap_or("t")),
+                    _ => LogRecord::checkpoint(txn),
+                }
+            },
+        )
 }
 
 proptest! {
@@ -41,7 +50,8 @@ proptest! {
     }
 
     /// A whole stream of records round-trips in order, and truncating the
-    /// final record never yields a phantom extra record.
+    /// final record never yields a phantom extra record — and is reported
+    /// as a torn tail, not a clean end.
     #[test]
     fn record_streams_round_trip(recs in prop::collection::vec(arb_record(), 1..20)) {
         let mut buf = BytesMut::new();
@@ -49,22 +59,71 @@ proptest! {
         for r in &recs {
             last_len = r.encode(&mut buf);
         }
-        let (decoded, consumed) = LogRecord::decode_all(&buf);
-        prop_assert_eq!(&decoded, &recs);
-        prop_assert_eq!(consumed, buf.len());
+        let sum = LogRecord::decode_all(&buf);
+        prop_assert_eq!(&sum.records, &recs);
+        prop_assert_eq!(sum.consumed, buf.len());
+        prop_assert_eq!(sum.end, DecodeEnd::Clean);
         // Tear one byte off the final record: the stream decodes exactly
-        // the records before it.
-        let torn = &buf[..buf.len() - 1];
-        let (head, head_consumed) = LogRecord::decode_all(torn);
-        prop_assert_eq!(&head, &recs[..recs.len() - 1]);
-        prop_assert_eq!(head_consumed, buf.len() - last_len);
+        // the records before it and reports the tear.
+        let torn = LogRecord::decode_all(&buf[..buf.len() - 1]);
+        prop_assert_eq!(&torn.records, &recs[..recs.len() - 1]);
+        prop_assert_eq!(torn.consumed, buf.len() - last_len);
+        prop_assert_eq!(torn.end, DecodeEnd::Torn { missing: 1 });
+    }
+
+    /// Cut anywhere, not just one byte short: the scan consumes exactly
+    /// the whole frames before the cut and never reports Clean unless the
+    /// cut lands on a record boundary.
+    #[test]
+    fn arbitrary_cuts_stop_on_a_boundary(
+        recs in prop::collection::vec(arb_record(), 1..12),
+        cut_sel in 0u64..10_000,
+    ) {
+        let mut buf = BytesMut::new();
+        for r in &recs {
+            r.encode(&mut buf);
+        }
+        let cut = buf.len() * cut_sel as usize / 10_000;
+        let boundaries = LogRecord::boundaries(&buf);
+        let sum = LogRecord::decode_all(&buf[..cut]);
+        // consumed is the largest boundary at or below the cut.
+        let expect = *boundaries.iter().filter(|&&b| b <= cut).max().unwrap();
+        prop_assert_eq!(sum.consumed, expect);
+        prop_assert_eq!(sum.end == DecodeEnd::Clean, boundaries.contains(&cut));
+    }
+
+    /// Detection property for the recovery tier: flip any single bit
+    /// anywhere in an encoded stream and (a) decoding never yields a
+    /// record sequence that isn't a strict prefix of the original, (b)
+    /// the scan never ends Clean — the damage is always surfaced.
+    #[test]
+    fn any_single_flipped_bit_is_detected(
+        recs in prop::collection::vec(arb_record(), 1..8),
+        byte_sel in 0u64..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut buf = BytesMut::new();
+        for r in &recs {
+            r.encode(&mut buf);
+        }
+        let mut bad = buf.to_vec();
+        let idx = (bad.len() - 1) * byte_sel as usize / 10_000;
+        bad[idx] ^= 1 << bit;
+        let sum = LogRecord::decode_all(&bad);
+        // Never a clean end: the flip is detected...
+        prop_assert_ne!(sum.end, DecodeEnd::Clean);
+        // ...and the flipped record is never replayed: what does decode is
+        // a strict prefix of the original stream.
+        prop_assert!(sum.records.len() < recs.len());
+        prop_assert_eq!(&sum.records[..], &recs[..sum.records.len()]);
     }
 }
 
 #[test]
 fn decode_never_panics_on_arbitrary_garbage() {
     // A cheap deterministic fuzz sweep: whatever the bytes, decode must
-    // return cleanly (Some only for structurally whole records).
+    // return cleanly (Ok only for structurally whole, checksummed
+    // records — which random bytes essentially never are).
     let mut state = 0x9E3779B97F4A7C15u64;
     let mut buf = vec![0u8; 512];
     for _ in 0..200 {
@@ -75,9 +134,14 @@ fn decode_never_panics_on_arbitrary_garbage() {
             *b = (state >> 33) as u8;
         }
         let _ = LogRecord::decode(&buf);
-        let _ = LogRecord::decode_all(&buf);
+        let sum = LogRecord::decode_all(&buf);
+        assert!(sum.consumed <= buf.len());
     }
     // And the empty buffer.
-    assert_eq!(LogRecord::decode(&[]), None);
+    assert_eq!(
+        LogRecord::decode(&[]),
+        Err(DecodeError::TornTail { have: 0, need: 8 })
+    );
+    assert_eq!(LogRecord::decode_all(&[]).end, DecodeEnd::Clean);
     let _ = LogPayload::Begin; // exercise the re-export
 }

@@ -25,7 +25,10 @@ impl Outcome {
         match r {
             Ok(_) => Outcome::Commit,
             Err(TxnError::UserAbort(_)) | Err(TxnError::NotFound) => Outcome::UserFail,
-            Err(TxnError::Lock(_)) => Outcome::SysAbort,
+            // A failed commit-time log force: the txn was never
+            // acknowledged, so it counts like a system abort (but it is
+            // NOT retryable — the log device is poisoned).
+            Err(TxnError::Lock(_)) | Err(TxnError::Durability(_)) => Outcome::SysAbort,
         }
     }
 }

@@ -146,6 +146,51 @@ impl TpcB {
         )
     }
 
+    /// Verify the TPC-B conservation invariant on a database that may not
+    /// be the one this instance was loaded into — tables are resolved by
+    /// name, so a *recovered* database checks too. Returns the history
+    /// row count (each committed transaction appended exactly one) for
+    /// the caller to compare against its durable-winner count. An `Err`
+    /// describes the violated invariant.
+    pub fn check_recovered(
+        db: &Arc<Database>,
+        branches: u64,
+        accounts_per_branch: u64,
+    ) -> Result<u64, String> {
+        let resolve = |name: &str| {
+            db.table_handle(name)
+                .ok_or_else(|| format!("table {name} missing after recovery"))
+        };
+        let branch = resolve("tpcb_branch")?;
+        let teller = resolve("tpcb_teller")?;
+        let account = resolve("tpcb_account")?;
+        let history = resolve("tpcb_history")?;
+        let sum = |table: TableHandle, count: u64, what: &str| -> Result<i64, String> {
+            let mut acc = 0i64;
+            for id in 1..=count {
+                let row = db
+                    .peek(table, id)
+                    .ok_or_else(|| format!("{what} row {id} missing after recovery"))?;
+                acc += get_i64(&row, BALANCE_OFF);
+            }
+            Ok(acc)
+        };
+        let bb = sum(branch, branches, "branch")?;
+        let tb = sum(teller, branches * TELLERS_PER_BRANCH, "teller")?;
+        let ab = sum(account, branches * accounts_per_branch, "account")?;
+        if bb != tb {
+            return Err(format!(
+                "balance sums diverge: branches {bb} vs tellers {tb}"
+            ));
+        }
+        if bb != ab {
+            return Err(format!(
+                "balance sums diverge: branches {bb} vs accounts {ab}"
+            ));
+        }
+        Ok(db.record_count(history))
+    }
+
     /// Sum of all branch balances (invariant: equals sum of teller
     /// balances and sum of account balances).
     pub fn balance_sums(&self, db: &Arc<Database>) -> (i64, i64, i64) {

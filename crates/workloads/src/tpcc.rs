@@ -568,6 +568,80 @@ impl TpcC {
         )
     }
 
+    /// Verify TPC-C structural invariants on a database resolved by table
+    /// *name*, so a recovered database checks too:
+    ///
+    /// 1. money conservation: every warehouse's YTD equals the sum of its
+    ///    districts' YTDs (Payment updates both or neither);
+    /// 2. order density: each district's `NEXT_O_ID` agrees with the
+    ///    orders actually present — ids `1..NEXT_O_ID` exist, `NEXT_O_ID`
+    ///    does not (New Order allocates the id and inserts the order in
+    ///    one transaction);
+    /// 3. completeness: every order's `OL_CNT` order lines exist, and
+    ///    every new-order row points at an existing order.
+    ///
+    /// An `Err` describes the first violated invariant.
+    pub fn check_recovered(db: &Arc<Database>, scale: TpcCScale) -> Result<(), String> {
+        let resolve = |name: &str| {
+            db.table_handle(name)
+                .ok_or_else(|| format!("table {name} missing after recovery"))
+        };
+        let warehouse = resolve("tpcc_warehouse")?;
+        let district = resolve("tpcc_district")?;
+        let order = resolve("tpcc_order")?;
+        let new_order = resolve("tpcc_new_order")?;
+        let order_line = resolve("tpcc_order_line")?;
+
+        let mut new_order_rows = 0u64;
+        for w in 1..=scale.warehouses {
+            let wrow = db
+                .peek(warehouse, w)
+                .ok_or_else(|| format!("warehouse {w} missing"))?;
+            let w_ytd = get_i64(&wrow, 8);
+            let mut d_ytd_sum = 0i64;
+            for d in 1..=DISTRICTS {
+                let drow = db
+                    .peek(district, dist_key(w, d))
+                    .ok_or_else(|| format!("district {w}/{d} missing"))?;
+                d_ytd_sum += get_i64(&drow, district_field::YTD);
+                let next_o = get_u64(&drow, district_field::NEXT_O_ID);
+                if db.peek(order, order_key(w, d, next_o)).is_some() {
+                    return Err(format!(
+                        "district {w}/{d}: order {next_o} exists past NEXT_O_ID"
+                    ));
+                }
+                for o in 1..next_o {
+                    let orow = db.peek(order, order_key(w, d, o)).ok_or_else(|| {
+                        format!("district {w}/{d}: order {o} < NEXT_O_ID {next_o} missing")
+                    })?;
+                    let ol_cnt = get_u64(&orow, order_field::OL_CNT);
+                    for line in 0..ol_cnt {
+                        if db.peek(order_line, order_line_key(w, d, o, line)).is_none() {
+                            return Err(format!("order {w}/{d}/{o}: line {line}/{ol_cnt} missing"));
+                        }
+                    }
+                    if db.peek(new_order, order_key(w, d, o)).is_some() {
+                        new_order_rows += 1;
+                    }
+                }
+            }
+            if w_ytd != d_ytd_sum {
+                return Err(format!(
+                    "warehouse {w}: YTD {w_ytd} != district YTD sum {d_ytd_sum}"
+                ));
+            }
+        }
+        // Every new-order row was seen attached to an existing order.
+        let total = db.record_count(new_order);
+        if total != new_order_rows {
+            return Err(format!(
+                "{} new-order rows but only {new_order_rows} point at existing orders",
+                total
+            ));
+        }
+        Ok(())
+    }
+
     /// A single-transaction workload.
     pub fn single(self: &Arc<Self>, kind: TpcCTxn) -> MixedWorkload {
         let name = match kind {

@@ -2,7 +2,7 @@
 //!
 //! Dependency-free static analysis (substring + brace tracking — "AST
 //! lite", deliberately not `syn`: the container has no registry access
-//! and the rules below don't need type information). Four rules, all
+//! and the rules below don't need type information). Five rules, all
 //! scoped to library code of the first-party crates plus the vendored
 //! `parking_lot` (the other vendored crates are third-party snapshots):
 //!
@@ -20,6 +20,12 @@
 //! 4. **latch-across-park** — textual heuristic: a live lock/latch guard
 //!    binding in scope when a `park(`/`park_timeout(` call appears. A
 //!    thread that parks while holding a latch deadlocks the tree.
+//! 5. **durability** — in recovery code (files whose path contains
+//!    `recovery`), every direct storage mutation (`heap.`/`primary.`/
+//!    `ordered.` followed by a mutator method) must carry a
+//!    `// durability:` comment explaining why mutating pages outside a
+//!    transaction is safe. One comment covers the contiguous mutation
+//!    cluster it precedes.
 //!
 //! A site can be suppressed with `// sli-lint: allow(<rule>)` on the same
 //! line or the line above — the suppression is itself greppable, so the
@@ -177,6 +183,7 @@ enum Rule {
     OrderingComment,
     Sleep,
     LatchAcrossPark,
+    Durability,
 }
 
 impl Rule {
@@ -186,6 +193,7 @@ impl Rule {
             Rule::OrderingComment => "ordering-comment",
             Rule::Sleep => "sleep",
             Rule::LatchAcrossPark => "latch-across-park",
+            Rule::Durability => "durability",
         }
     }
 }
@@ -403,6 +411,75 @@ fn guard_binding(code: &str) -> Option<String> {
     Some(name)
 }
 
+/// Does a code line mutate storage directly (bypassing a transaction)?
+/// Matches a storage receiver (`heap.`, `primary.`, `ordered.`) followed
+/// immediately by a mutator method call.
+fn durability_mutation(code: &str) -> bool {
+    const RECEIVERS: [&str; 3] = ["heap.", "primary.", "ordered."];
+    const MUTATORS: [&str; 6] = [
+        "insert(",
+        "update(",
+        "delete(",
+        "restore(",
+        "remove(",
+        "ensure_page(",
+    ];
+    for recv in RECEIVERS {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(recv) {
+            let i = from + pos + recv.len();
+            from = i;
+            if MUTATORS.iter().any(|m| code[i..].starts_with(m)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Like [`justified_above`] for the durability rule, but the upward walk
+/// also passes through *other mutator lines*: recovery mutations come in
+/// clusters (restore + index insert + ordered insert), and one
+/// `// durability:` comment above the cluster covers all of it. Any
+/// unrelated completed statement still ends the walk.
+fn durability_justified(lines: &[SplitLine], idx: usize) -> bool {
+    let has = |i: usize| {
+        lines[i]
+            .comment
+            .to_ascii_lowercase()
+            .contains("durability:")
+    };
+    if has(idx) {
+        return true;
+    }
+    let mut steps = 0;
+    let mut i = idx;
+    while i > 0 && steps < JUSTIFY_WINDOW {
+        i -= 1;
+        if has(i) {
+            return true;
+        }
+        let code = lines[i].code.trim();
+        if durability_mutation(code) || code == "}" {
+            // Same mutation cluster (or the close of a conditional inside
+            // it): keep walking.
+            steps += 1;
+            continue;
+        }
+        if code.ends_with(';') || code.ends_with('}') {
+            return false;
+        }
+        if code.is_empty()
+            || code.starts_with("#[")
+            || code.starts_with("#!")
+            || code.ends_with('{')
+        {
+            steps += 1;
+        }
+    }
+    false
+}
+
 fn analyze(rel: &Path, src: &str, findings: &mut Vec<Finding>) {
     let rel_str = rel.to_string_lossy().replace('\\', "/");
     let class = classify(&rel_str);
@@ -473,6 +550,25 @@ fn analyze(rel: &Path, src: &str, findings: &mut Vec<Finding>) {
                 line: lineno,
                 rule: Rule::Sleep,
                 message: "thread::sleep in library code (waits must go through the parker)".into(),
+            });
+        }
+
+        // Rule 5: recovery code mutating pages outside a transaction
+        // must say why that is safe. Scoped to recovery source files —
+        // everywhere else, storage mutation goes through a transaction
+        // and the WAL, so the comment would be noise.
+        if !test_code
+            && rel_str.contains("recovery")
+            && durability_mutation(code)
+            && !durability_justified(&lines, idx)
+            && !suppressed(&lines, idx, Rule::Durability)
+        {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: Rule::Durability,
+                message: "recovery-path storage mutation without a `// durability:` justification"
+                    .into(),
             });
         }
 
@@ -772,6 +868,65 @@ fn f(l: &Latch, t: &Thread) {
 }
 ";
         assert!(run("crates/x/src/lib.rs", unpark).is_empty());
+    }
+
+    #[test]
+    fn recovery_mutations_need_a_durability_comment() {
+        let bad = "\
+fn put(t: &TableData) {
+    t.heap.restore(rid, data);
+}
+";
+        assert_eq!(run("crates/engine/src/recovery.rs", bad), ["durability"]);
+        // The same code outside a recovery file is not this rule's business.
+        assert!(run("crates/engine/src/session.rs", bad).is_empty());
+        // Test code is exempt (integration tests drive storage directly).
+        assert!(run("crates/engine/tests/recovery_proptest.rs", bad).is_empty());
+
+        let good = "\
+fn put(t: &TableData) {
+    // durability: redo places the exact logged bytes back.
+    t.heap.restore(rid, data);
+}
+";
+        assert!(run("crates/engine/src/recovery.rs", good).is_empty());
+    }
+
+    #[test]
+    fn one_durability_comment_covers_a_mutation_cluster() {
+        let cluster = "\
+fn put(t: &TableData) {
+    // durability: index entries are rebuilt from the logged record.
+    t.heap.ensure_page(page);
+    t.heap.restore(rid, data);
+    t.primary.insert(key, rid);
+    if let Some(ok) = okey {
+        t.ordered.insert(ok, rid);
+    }
+}
+";
+        assert!(run("crates/engine/src/recovery.rs", cluster).is_empty());
+
+        // An unrelated statement between the comment and the mutation
+        // breaks the cluster: the mutation below it is uncovered.
+        let broken = "\
+fn put(t: &TableData) {
+    // durability: covers only the restore.
+    t.heap.restore(rid, data);
+    let n = counter.fetch_add(1);
+    t.primary.insert(key, rid);
+}
+";
+        assert_eq!(run("crates/engine/src/recovery.rs", broken), ["durability"]);
+
+        // Reads are not mutations.
+        let reads = "\
+fn hash(t: &TableData) {
+    t.heap.scan(|rid, data| acc = fnv(acc, data));
+    t.primary.for_each(|k, r| acc += k);
+}
+";
+        assert!(run("crates/engine/src/recovery.rs", reads).is_empty());
     }
 
     #[test]
