@@ -1,0 +1,208 @@
+//! A/B microbenchmark of the log front-end: the retired latched design
+//! (shared [`LogBuffer`] + a flush mutex every committer blocks on)
+//! against the shipping lock-free ring + parked committer queue
+//! ([`sli_wal::LogManager`]), at 1x / 2x / 4x the core count of
+//! committer threads over a simulated 50 us fsync.
+//!
+//! Reported per cell: append p50 (the reservation fast path), commit
+//! p95 (append commit record + wait for durability), and the mean
+//! group-commit size (commits per physical flush). The latched
+//! baseline's commit path is the pre-ring `LogManager::commit` logic
+//! verbatim: check the watermark, block on the flush mutex, re-check,
+//! drain + sleep the device latency. Numbers land in EXPERIMENTS.md.
+//!
+//! Knobs: `SLI_MICRO_WAL_COMMITS` (commits per thread, default 300),
+//! `SLI_MICRO_WAL_FSYNC_US` (simulated device latency, default 50).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::SampleStats;
+use parking_lot::Mutex;
+use sli_wal::{LogBuffer, LogConfig, LogManager, LogRecord, Lsn};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The pre-ring log manager, reconstructed as a baseline: appends
+/// serialize on the buffer latch, and *every* committer that finds the
+/// watermark short blocks on the flush mutex — the convoy the ring
+/// replaced.
+struct LatchedLog {
+    buffer: LogBuffer,
+    flush: Mutex<()>,
+    durable: AtomicU64,
+    flushes: AtomicU64,
+    commits: AtomicU64,
+    latency: Duration,
+}
+
+impl LatchedLog {
+    fn new(latency: Duration) -> Self {
+        LatchedLog {
+            buffer: LogBuffer::new(),
+            flush: Mutex::new(()),
+            durable: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            latency,
+        }
+    }
+
+    fn append(&self, rec: &LogRecord) -> Lsn {
+        self.buffer.append(rec)
+    }
+
+    fn commit(&self, lsn: Lsn) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if self.durable.load(Ordering::Acquire) >= lsn {
+                return;
+            }
+            let _g = self.flush.lock();
+            if self.durable.load(Ordering::Acquire) >= lsn {
+                return;
+            }
+            let (bytes, upto) = self.buffer.drain();
+            if !bytes.is_empty() {
+                std::thread::sleep(self.latency); // simulated fsync
+            }
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.durable.store(upto, Ordering::Release);
+        }
+    }
+}
+
+struct Cell {
+    append_p50_ns: f64,
+    commit_p95_ns: f64,
+    commits: u64,
+    flushes: u64,
+    wall: Duration,
+}
+
+fn group(c: &Cell) -> f64 {
+    if c.flushes > 0 {
+        c.commits as f64 / c.flushes as f64
+    } else {
+        0.0
+    }
+}
+
+/// Drive `threads` committers, each appending one update + one commit
+/// record then waiting for durability, `commits_per_thread` times.
+/// `append`/`commit` abstract over the two designs.
+fn drive<L: Send + Sync + 'static>(
+    log: Arc<L>,
+    threads: usize,
+    commits_per_thread: u64,
+    append: fn(&L, &LogRecord) -> Lsn,
+    commit: fn(&L, Lsn),
+    counters: fn(&L) -> (u64, u64),
+) -> Cell {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads as u64 {
+        let log = Arc::clone(&log);
+        handles.push(std::thread::spawn(move || {
+            let mut appends = Vec::with_capacity(commits_per_thread as usize);
+            let mut commits = Vec::with_capacity(commits_per_thread as usize);
+            let img = [t as u8; 48];
+            for i in 0..commits_per_thread {
+                let a0 = Instant::now();
+                append(&log, &LogRecord::update(t + 1, 1, i as u32, 0, &img, &img));
+                appends.push(a0.elapsed());
+                let c0 = Instant::now();
+                let lsn = append(&log, &LogRecord::commit(t * 1_000_000 + i + 1));
+                commit(&log, lsn);
+                commits.push(c0.elapsed());
+            }
+            (appends, commits)
+        }));
+    }
+    let mut appends = Vec::new();
+    let mut commits = Vec::new();
+    for h in handles {
+        let (a, c) = h.join().unwrap();
+        appends.extend(a);
+        commits.extend(c);
+    }
+    let wall = started.elapsed();
+    let (ncommits, nflushes) = counters(&log);
+    Cell {
+        append_p50_ns: SampleStats::from_samples(&appends).expect("samples").p50,
+        commit_p95_ns: SampleStats::from_samples(&commits).expect("samples").p95,
+        commits: ncommits,
+        flushes: nflushes,
+        wall,
+    }
+}
+
+fn main() {
+    let commits_per_thread = env_u64("SLI_MICRO_WAL_COMMITS", 300);
+    let fsync = Duration::from_micros(env_u64("SLI_MICRO_WAL_FSYNC_US", 50));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    println!(
+        "micro_wal: {} commits/thread, {} us simulated fsync, {} cores",
+        commits_per_thread,
+        fsync.as_micros(),
+        cores
+    );
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>8} {:>9}",
+        "mode", "threads", "append p50", "commit p95", "group", "wall ms"
+    );
+
+    for mult in [1usize, 2, 4] {
+        let threads = cores * mult;
+
+        let latched = drive(
+            Arc::new(LatchedLog::new(fsync)),
+            threads,
+            commits_per_thread,
+            |l, rec| l.append(rec),
+            |l, lsn| l.commit(lsn),
+            |l| {
+                (
+                    l.commits.load(Ordering::Relaxed),
+                    l.flushes.load(Ordering::Relaxed),
+                )
+            },
+        );
+
+        let ring = drive(
+            Arc::new(LogManager::new(LogConfig {
+                flush_latency: fsync,
+                ..LogConfig::default()
+            })),
+            threads,
+            commits_per_thread,
+            |l, rec| l.append(rec.clone()),
+            |l, lsn| l.commit(lsn, lsn).expect("no faults armed"),
+            |l| {
+                let s = l.stats();
+                (s.commits, s.flushes)
+            },
+        );
+
+        for (mode, cell) in [("latched", &latched), ("ring", &ring)] {
+            println!(
+                "{:<8} {:>8} {:>10.1}us {:>10.1}us {:>8.1} {:>9.1}",
+                mode,
+                threads,
+                cell.append_p50_ns / 1e3,
+                cell.commit_p95_ns / 1e3,
+                group(cell),
+                cell.wall.as_secs_f64() * 1e3
+            );
+        }
+    }
+}

@@ -434,8 +434,9 @@ impl Txn<'_> {
             let seq = self.ts.txn_seq();
             let lsn = self.db.log.append(LogRecord::commit(seq));
             // Early-release policies drop record-level S locks here — after
-            // the commit LSN is assigned, before the (blocking) log flush.
-            // A no-op for every other policy.
+            // the commit LSN is assigned, before the commit wait (the
+            // session parks on the committer queue until a group-commit
+            // flush covers `lsn`). A no-op for every other policy.
             self.db.lockmgr.pre_commit_release(self.ts);
             let forced = self.db.log.commit(seq, lsn);
             // On a flush failure the in-memory effects are kept and the

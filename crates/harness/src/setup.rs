@@ -125,6 +125,10 @@ pub fn db_config(sli: bool) -> DatabaseConfig {
 pub fn db_config_for(policy: sli_engine::PolicyKind) -> DatabaseConfig {
     let mut cfg = DatabaseConfig::with_policy(policy).in_memory();
     cfg.row_work_ns = env_u64("SLI_ROW_WORK_NS", 800);
+    // Log front-end knobs (`SLI_LOG_RING`, `SLI_LOG_BATCH_US`,
+    // `SLI_LOG_FLUSHER`) so experiments can sweep the ring and flusher
+    // without recompiling.
+    cfg.log = cfg.log.from_env();
     cfg
 }
 

@@ -1,7 +1,7 @@
 //! Crash-torture: seeded fault injection over TPC-B and TPC-C.
 //!
 //! Each *crash point* loads a durable database, runs a few agent threads
-//! of the workload, then kills it in one of three flavors:
+//! of the workload, then kills it in one of four flavors:
 //!
 //! - **kill** — truncate the durable log at a random *record boundary*
 //!   (a clean crash between two flushes);
@@ -9,7 +9,18 @@
 //!   a torn final record);
 //! - **fsync** — arm a seeded [`FaultPlan`]: one flush fails partway
 //!   through and poisons the device, so some commits are never
-//!   acknowledged.
+//!   acknowledged;
+//! - **live** — snapshot the device *mid-run*, while appenders hold
+//!   reserved-but-unpublished ring reservations and committers are
+//!   parked on in-flight flushes, then cut the snapshot at a random
+//!   byte. This is the ring-aware crash: holes must have pinned the
+//!   flush boundary, so the snapshot can never contain a half-encoded
+//!   record.
+//!
+//! The fsync and live flavors run with a non-zero simulated flush
+//!   latency so the group-commit pipeline is actually populated —
+//!   committers are *parked* at the moment the failure (or snapshot)
+//!   lands, not racing through empty flushes.
 //!
 //! The survivor bytes are recovered ([`Database::recover`]) and checked:
 //!
@@ -49,14 +60,18 @@ pub enum CrashFlavor {
     Tear,
     /// Seeded fsync failure: a flush drops bytes and poisons the device.
     Fsync,
+    /// Snapshot the device mid-run (ring holes + parked committers in
+    /// flight), then cut the snapshot at a random byte.
+    Live,
 }
 
 impl CrashFlavor {
     fn of(i: u64) -> CrashFlavor {
-        match i % 3 {
+        match i % 4 {
             0 => CrashFlavor::Kill,
             1 => CrashFlavor::Tear,
-            _ => CrashFlavor::Fsync,
+            2 => CrashFlavor::Fsync,
+            _ => CrashFlavor::Live,
         }
     }
 
@@ -65,6 +80,7 @@ impl CrashFlavor {
             CrashFlavor::Kill => "kill",
             CrashFlavor::Tear => "tear",
             CrashFlavor::Fsync => "fsync",
+            CrashFlavor::Live => "live",
         }
     }
 }
@@ -91,9 +107,17 @@ struct Point {
     seed: u64,
 }
 
-fn durable_config(policy: PolicyKind, fault: FaultPlan) -> DatabaseConfig {
+fn durable_config(
+    policy: PolicyKind,
+    fault: FaultPlan,
+    flush_latency: std::time::Duration,
+) -> DatabaseConfig {
     let mut cfg = DatabaseConfig::with_policy(policy).in_memory().durable();
+    // Ring/flusher knobs apply (so torture can sweep `SLI_LOG_RING` etc.);
+    // the fault plan and latency stay point-controlled.
+    cfg.log = cfg.log.from_env();
     cfg.log.fault = fault;
+    cfg.log.flush_latency = flush_latency;
     cfg
 }
 
@@ -102,18 +126,33 @@ fn durable_config(policy: PolicyKind, fault: FaultPlan) -> DatabaseConfig {
 /// transactions (TPC-C OrderStatus/StockLevel) commit without touching
 /// the log, so they can never show up as durable winners and must not
 /// count toward the acknowledgement-honesty check.
-fn drive(db: &Arc<Database>, mix: Arc<MixedWorkload>, agents: u64, txns: u64, seed: u64) -> u64 {
+///
+/// With `snapshot_after = Some(n)`, the device is additionally
+/// snapshotted once `n` transactions have completed *while the agents
+/// keep running* — the live-crash capture: ring reservations are
+/// unpublished, committers are parked mid-flush, and the snapshot must
+/// still be a record-boundary-clean prefix.
+fn drive(
+    db: &Arc<Database>,
+    mix: Arc<MixedWorkload>,
+    agents: u64,
+    txns: u64,
+    seed: u64,
+    snapshot_after: Option<u64>,
+) -> (u64, Option<Vec<u8>>) {
     let read_only: Vec<bool> = mix
         .transaction_names()
         .iter()
         .map(|n| matches!(*n, "OrderStatus" | "StockLevel"))
         .collect();
     let read_only = Arc::new(read_only);
+    let done = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let mut handles = Vec::new();
     for a in 0..agents {
         let db = Arc::clone(db);
         let mix = Arc::clone(&mix);
         let read_only = Arc::clone(&read_only);
+        let done = Arc::clone(&done);
         handles.push(std::thread::spawn(move || {
             let s = db.session();
             let mut rng = SmallRng::seed_from_u64(seed ^ (a.wrapping_mul(0x9E37_79B9)));
@@ -123,11 +162,19 @@ fn drive(db: &Arc<Database>, mix: Arc<MixedWorkload>, agents: u64, txns: u64, se
                 if outcome == Outcome::Commit && !read_only[idx] {
                     acked += 1;
                 }
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
             acked
         }));
     }
-    handles.into_iter().map(|h| h.join().unwrap()).sum()
+    let snapshot = snapshot_after.map(|n| {
+        while done.load(std::sync::atomic::Ordering::Relaxed) < n {
+            std::thread::yield_now();
+        }
+        db.durable_log()
+    });
+    let acked = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (acked, snapshot)
 }
 
 /// Pick where to cut the device bytes for a crash flavor. `floor` is the
@@ -146,6 +193,9 @@ fn cut_for(flavor: CrashFlavor, log: &[u8], floor: usize, rng: &mut SmallRng) ->
         // The injected flush failure already left the device torn (or
         // short); the "crash" takes the whole device as-is.
         CrashFlavor::Fsync => log.len(),
+        // The mid-run snapshot is the crash image; cut it anywhere past
+        // the load prefix (the device may also tear mid-write).
+        CrashFlavor::Live => rng.gen_range(floor..=log.len()),
     }
 }
 
@@ -159,7 +209,14 @@ fn run_point(point: &Point, agents: u64, txns: u64) -> Result<TortureSummary, St
         }
         _ => FaultPlan::none(),
     };
-    let db = Database::open(durable_config(point.policy, fault));
+    // Fsync and live points simulate a slow device so the group-commit
+    // pipeline fills up: the failure (or snapshot) lands while
+    // committers are parked on in-flight flushes, not between them.
+    let latency = match point.flavor {
+        CrashFlavor::Fsync | CrashFlavor::Live => std::time::Duration::from_micros(200),
+        _ => std::time::Duration::ZERO,
+    };
+    let db = Database::open(durable_config(point.policy, fault, latency));
 
     // Load the workload small enough that a point stays well under a
     // second but large enough for real page/lock populations.
@@ -177,15 +234,39 @@ fn run_point(point: &Point, agents: u64, txns: u64) -> Result<TortureSummary, St
         .map_err(|e| format!("load force failed: {e}"))?;
     let floor = db.durable_log().len();
 
-    let acked = drive(&db, mix, agents, txns, point.seed ^ 0xDEAD_BEEF);
+    // Live points capture the device while roughly half the workload is
+    // still in flight; the other flavors crash after the run.
+    let snapshot_after = match point.flavor {
+        CrashFlavor::Live => Some((agents * txns) / 2),
+        _ => None,
+    };
+    let (acked, live_snap) = drive(
+        &db,
+        mix,
+        agents,
+        txns,
+        point.seed ^ 0xDEAD_BEEF,
+        snapshot_after,
+    );
 
     // Crash: take the device bytes and cut them per flavor.
-    let log = db.durable_log();
+    let log = match live_snap {
+        Some(snap) => snap,
+        None => db.durable_log(),
+    };
     let cut = cut_for(point.flavor, &log, floor, &mut rng);
     drop(db);
 
     let (rec, report) = Database::recover(DatabaseConfig::default().in_memory(), &log[..cut])
         .map_err(|e| format!("recovery failed: {e}"))?;
+
+    // The ring's hole discipline means a crash can tear at most the
+    // final record: the survivor bytes decode Clean or Torn, never
+    // Corrupt, in every flavor (a Corrupt end would mean a flush wrote
+    // a half-encoded or reordered record).
+    if report.end == sli_engine::DecodeEnd::Corrupt {
+        return Err("recovered log decoded as Corrupt".to_string());
+    }
 
     // Workload invariants on the recovered database.
     match tpcb_scale {
@@ -257,6 +338,7 @@ pub fn crash_torture() -> TortureSummary {
             (CrashFlavor::Kill, TortureSummary::default()),
             (CrashFlavor::Tear, TortureSummary::default()),
             (CrashFlavor::Fsync, TortureSummary::default()),
+            (CrashFlavor::Live, TortureSummary::default()),
         ];
         for i in 0..points {
             let point = Point {

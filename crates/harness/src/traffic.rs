@@ -182,7 +182,23 @@ pub fn storm(
     };
     let workload = EngineOpenLoop::new(&w.db, &w.mix);
     let mut dash = Dashboard::new();
+    let log_before = w.db.log_stats();
     let report = run_traffic(&workload, &cfg, live.then_some(&mut dash));
+    // Group-commit telemetry for the storm: how well the log front-end
+    // batched this rung's committers.
+    let log_after = w.db.log_stats();
+    let commits = log_after.commits - log_before.commits;
+    let flushes = log_after.flushes - log_before.flushes;
+    let group = if flushes > 0 {
+        commits as f64 / flushes as f64
+    } else {
+        0.0
+    };
+    println!(
+        "   log: {commits} commits / {flushes} flushes (group {group:.1}), {} parks, {} steals",
+        log_after.commit_parks - log_before.commit_parks,
+        log_after.steals - log_before.steals,
+    );
     let artifact = BenchArtifact {
         experiment: "traffic".into(),
         workload: format!("{}-{policy}-r{rate:.0}", w.label),
@@ -198,6 +214,9 @@ pub fn storm(
                 "measure_secs".into(),
                 format!("{:.1}", knobs.measure.as_secs_f64()),
             ),
+            ("log_commits".into(), commits.to_string()),
+            ("log_flushes".into(), flushes.to_string()),
+            ("log_group_mean".into(), format!("{group:.2}")),
         ],
         windows: report.windows.clone(),
         summary: report.summary.clone(),

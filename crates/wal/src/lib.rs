@@ -1,8 +1,11 @@
 //! # sli-wal — write-ahead log manager
 //!
-//! A Shore-MT-style log: transactions append redo/undo records to a shared,
-//! latched log buffer and force the log up to their commit LSN at commit
-//! time. Group commit lets concurrent committers piggyback on one flush.
+//! A Shore-MT-style log with a scalable front-end: transactions reserve
+//! space in a lock-free ring ([`LogRing`]) with one atomic fetch-add,
+//! encode outside any latch, and force the log up to their commit LSN by
+//! parking on the committer queue ([`CommitQueue`]) until a pipelined
+//! group-commit flush covers them. The original latched [`LogBuffer`] is
+//! kept as the A/B baseline for the `micro_wal` bench.
 //!
 //! The log exists for two reasons in this reproduction:
 //!
@@ -19,17 +22,21 @@
 //! the [`recovery`] pipeline; [`FaultPlan`] injects fsync failures.
 
 mod buffer;
+pub mod committers;
 mod manager;
 mod record;
 pub mod recovery;
+pub mod ring;
 
 pub use buffer::LogBuffer;
-pub use manager::{FaultPlan, LogConfig, LogManager, LogStats, WalError};
+pub use committers::{CommitQueue, WaitSlot};
+pub use manager::{FaultPlan, FlusherMode, LogConfig, LogManager, LogStats, WalError};
 pub use record::{
     DecodeEnd, DecodeError, DecodeSummary, LogPayload, LogRecord, Lsn, FRAME_HEADER, LOADER_TXN,
     MAX_RECORD_LEN,
 };
 pub use recovery::{analyze, replay, LogAnalysis, RecoveryError, RecoveryReport, RecoveryStorage};
+pub use ring::{DrainCursor, LogRing, Reservation};
 
 #[cfg(test)]
 mod tests {

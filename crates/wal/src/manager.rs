@@ -1,32 +1,48 @@
-//! The log manager: appends, group commit, simulated flush latency, an
-//! optional retained log device, and seeded fsync-failure injection.
+//! The log manager: lock-free ring appends, pipelined group commit, a
+//! parked committer queue, simulated flush latency, an optional retained
+//! log device, and seeded fsync-failure injection.
 //!
-//! Two durability modes share one code path:
+//! # Scalable front-end
+//!
+//! Appends reserve ring space with one atomic fetch-add and encode
+//! outside any latch ([`crate::ring::LogRing`]). Commits enqueue on the
+//! parked committer queue ([`crate::committers::CommitQueue`]) and sleep
+//! until a flush covers their LSN. Physical flushes are serialized by one
+//! mutex around the drain cursor + scratch batch, but **committers never
+//! block on it**: they `try_lock` — whoever wins flushes inline (the
+//! zero-latency fast path), everyone else parks. In
+//! [`FlusherMode::Thread`] (default) a dedicated flusher thread picks up
+//! whatever an inline flush left behind and paces batches with an
+//! adaptive window, so device latency overlaps with new appends; in
+//! [`FlusherMode::Steal`] there is no thread and a finishing flusher
+//! unparks the lowest uncovered committer to steal the role.
+//!
+//! # Durability modes
 //!
 //! - **Ephemeral** (default, `retain = false`): flushed batches are
 //!   dropped; the durable-LSN watermark is the whole durability contract.
-//!   This is the mode every performance experiment runs in — zero extra
-//!   memory traffic.
-//! - **Retained** (`retain = true`): flushed batches are appended to an
-//!   in-process device buffer, so the exact durable byte stream can be
-//!   snapshotted, truncated, corrupted, and handed to
-//!   `Database::recover`. The crash-torture harness lives here.
+//! - **Retained** (`retain = true`): flushed batches append to an
+//!   in-process device buffer for `Database::recover` and crash torture.
 //!
 //! Fault injection ([`FaultPlan`]) models an `fsync` that fails part-way:
-//! the failing flush writes only a prefix of its batch to the device
-//! (`drop_last` bytes short), the durable watermark does **not** advance,
-//! the committer gets an error instead of an acknowledgement, and the log
-//! is poisoned — every later force fails too, exactly like a real device
-//! that went away.
+//! the failing flush writes only a prefix of its batch to the device, the
+//! durable watermark does **not** advance, every parked committer wakes
+//! with `Err`, and the log is poisoned. After a poison, drains *discard*
+//! completed bytes (advancing the ring's space floor but never the
+//! watermark) so appenders on the fixed ring cannot wedge against a dead
+//! device.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::parking::{self, TOKEN_NORMAL};
+use parking_lot::{Mutex, MutexGuard};
 use sli_profiler::{Category, Component};
 
-use crate::buffer::LogBuffer;
+use crate::committers::{CommitQueue, WaitSlot};
 use crate::record::{LogRecord, Lsn};
+use crate::ring::{DrainCursor, LogRing, MAX_RING, MIN_RING};
 
 /// Seeded fsync-failure plan: which flush fails and how much of its batch
 /// still reaches the device before the failure. Default is no faults.
@@ -104,6 +120,20 @@ impl std::fmt::Display for WalError {
 
 impl std::error::Error for WalError {}
 
+/// Who drives flushes that no committer picked up inline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlusherMode {
+    /// A dedicated flusher thread (default): device latency overlaps
+    /// with new appends, and leftover waiters never depend on another
+    /// committer arriving.
+    #[default]
+    Thread,
+    /// No thread: a finishing flusher unparks the lowest uncovered
+    /// committer to steal the flusher role. For zero-background-thread
+    /// configs.
+    Steal,
+}
+
 /// Log manager configuration.
 #[derive(Clone, Debug)]
 pub struct LogConfig {
@@ -116,6 +146,16 @@ pub struct LogConfig {
     pub retain: bool,
     /// Injected fsync-failure plan (default: no faults).
     pub fault: FaultPlan,
+    /// Log-ring capacity in bytes (rounded to a power of two and clamped
+    /// to `[256, 256 MiB]`). Knob: `SLI_LOG_RING`.
+    pub ring_bytes: u64,
+    /// Upper bound of the flusher's adaptive batch window — how long the
+    /// dedicated flusher may wait for more committers to join a group
+    /// before issuing the fsync. Zero disables pacing. Knob:
+    /// `SLI_LOG_BATCH_US`.
+    pub batch_window: Duration,
+    /// Flusher mode. Knob: `SLI_LOG_FLUSHER` (`thread` | `steal`).
+    pub flusher: FlusherMode,
 }
 
 impl Default for LogConfig {
@@ -124,7 +164,42 @@ impl Default for LogConfig {
             flush_latency: Duration::ZERO,
             retain: false,
             fault: FaultPlan::none(),
+            ring_bytes: 1 << 20,
+            batch_window: Duration::from_micros(200),
+            flusher: FlusherMode::Thread,
         }
+    }
+}
+
+impl LogConfig {
+    /// Apply the `SLI_LOG_*` environment knobs on top of this config
+    /// (used by the harness so experiments can sweep the log front-end
+    /// without recompiling).
+    pub fn from_env(mut self) -> Self {
+        if let Ok(v) = std::env::var("SLI_LOG_RING") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                self.ring_bytes = n;
+            }
+        }
+        if let Ok(v) = std::env::var("SLI_LOG_BATCH_US") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                self.batch_window = Duration::from_micros(n);
+            }
+        }
+        if let Ok(v) = std::env::var("SLI_LOG_FLUSHER") {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "steal" => self.flusher = FlusherMode::Steal,
+                "thread" => self.flusher = FlusherMode::Thread,
+                _ => {}
+            }
+        }
+        self
+    }
+
+    fn clamped_ring(&self) -> u64 {
+        self.ring_bytes
+            .next_power_of_two()
+            .clamp(MIN_RING, MAX_RING)
     }
 }
 
@@ -136,33 +211,299 @@ pub struct LogStats {
     /// Commit forces requested.
     pub commits: u64,
     /// Physical flushes performed (group commit batches), including the
-    /// one that failed, if any.
+    /// one that failed, if any. Mean group size = `commits / flushes`.
     pub flushes: u64,
     /// Total bytes written.
     pub bytes: u64,
     /// Flushes that failed via the injected fault plan.
     pub flush_failures: u64,
+    /// Parked committers acknowledged by a successful flush's wake pass
+    /// (per-flush group membership of threads that actually waited).
+    pub group_commits: u64,
+    /// Largest single flushed batch, in bytes.
+    pub max_batch_bytes: u64,
+    /// Commit waits that actually parked (vs. riding a flush awake).
+    pub commit_parks: u64,
+    /// Appends that found the ring full and had to wait for a drain.
+    pub reserve_waits: u64,
+    /// Flushes run inline by a committer (the `try_lock` win) rather
+    /// than by the dedicated flusher thread.
+    pub steals: u64,
 }
 
-/// The write-ahead log manager.
-pub struct LogManager {
+/// Flush-serialized state: the ring's one drain cursor and the reusable
+/// batch scratch. Owning this mutex *is* the flusher role; committers
+/// only ever `try_lock` it, so there is no convoy.
+struct FlushState {
+    cursor: DrainCursor,
+    scratch: Vec<u8>,
+}
+
+struct LogInner {
     config: LogConfig,
-    buffer: LogBuffer,
-    durable: AtomicU64,
-    /// Serializes flushers; waiters park on the condvar for group commit.
-    flush_lock: Mutex<()>,
-    flush_cv: Condvar,
+    ring: LogRing,
+    queue: CommitQueue,
+    flush: Mutex<FlushState>,
     /// Flushed bytes, kept only when `config.retain`. Offset 0 of this
     /// vector is LSN 0, so `device.len()` tracks the durable watermark
     /// (plus any torn prefix a failed partial flush left).
     device: Mutex<Vec<u8>>,
-    /// Set once a flush fails; later forces return `WalError::Poisoned`.
-    poisoned: AtomicBool,
+    /// Dedicated-flusher doorbell and shutdown flag.
+    work: AtomicBool,
+    shutdown: AtomicBool,
     appends: AtomicU64,
     commits: AtomicU64,
     flushes: AtomicU64,
     bytes: AtomicU64,
     flush_failures: AtomicU64,
+    group_commits: AtomicU64,
+    max_batch_bytes: AtomicU64,
+    reserve_waits: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl LogInner {
+    /// Park address of the dedicated flusher's doorbell.
+    fn flusher_addr(&self) -> usize {
+        &self.work as *const AtomicBool as usize
+    }
+
+    /// Park address appenders wait on when the ring is full.
+    fn space_addr(&self) -> usize {
+        &self.shutdown as *const AtomicBool as usize
+    }
+
+    fn signal_flusher(&self) {
+        if self.config.flusher != FlusherMode::Thread {
+            return;
+        }
+        // ordering: release pairs with the flusher's acquire swap — the
+        // waiter/ring state that justified the doorbell is visible to it.
+        self.work.store(true, Ordering::Release);
+        parking::unpark_one(self.flusher_addr(), |_| TOKEN_NORMAL);
+    }
+
+    /// Write `bytes` into the log, waiting for ring space if needed.
+    fn append_bytes(&self, bytes: &[u8]) -> Lsn {
+        let res = self.ring.reserve(bytes.len());
+        if !self.ring.writable(&res) {
+            self.wait_for_space(&res);
+        }
+        self.ring.write(&res, bytes);
+        self.ring.publish(&res);
+        res.end
+    }
+
+    /// The ring is full: help or wait until a drain frees our range.
+    /// Liveness: the earliest reservation is always writable after a full
+    /// drain (its range fits the ring by construction), so space frees in
+    /// reservation order as holes publish.
+    fn wait_for_space(&self, res: &crate::ring::Reservation) {
+        // ordering: monotonic statistics counter.
+        self.reserve_waits.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if self.ring.writable(res) {
+                return;
+            }
+            match self.config.flusher {
+                FlusherMode::Thread => {
+                    self.signal_flusher();
+                    // Short safety deadline: the drain that frees us may
+                    // have completed between the check and the park.
+                    parking::park(
+                        self.space_addr(),
+                        || !self.ring.writable(res),
+                        || {},
+                        Some(Instant::now() + Duration::from_micros(500)),
+                    );
+                }
+                FlusherMode::Steal => {
+                    if let Some(st) = self.flush.try_lock() {
+                        let _ = self.run_flush(st);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wait until `lsn` is durable (or the device dies). The committer
+    /// half of group commit: try to flush inline, otherwise park.
+    fn commit_wait(&self, lsn: Lsn) -> Result<(), WalError> {
+        if let Some(out) = self.queue.outcome(lsn) {
+            return out;
+        }
+        let slot = WaitSlot::new();
+        self.queue.enqueue(lsn, &slot);
+        // Safety net for a missed wake: long enough to never fire on a
+        // healthy flush, short enough to unwedge a lost-stealer schedule.
+        let park_timeout = (self.config.flush_latency * 4).max(Duration::from_millis(10));
+        loop {
+            if let Some(out) = self.queue.outcome(lsn) {
+                return out;
+            }
+            if let Some(st) = self.flush.try_lock() {
+                // We are the flusher for this batch. The queue delivers
+                // our own verdict via `outcome` on the next lap.
+                // ordering: monotonic statistics counter.
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                let _ = self.run_flush(st);
+                continue;
+            }
+            // Someone else owns the device; ride their batch.
+            self.queue
+                .park(lsn, &slot, Some(Instant::now() + park_timeout));
+        }
+    }
+
+    /// One flush cycle: drain + write + watermark under the flush lock,
+    /// then (lock released) wake the committers the batch covered. When
+    /// uncovered waiters remain, hand the flusher role on — to the
+    /// dedicated thread via the doorbell, or (steal mode) by unparking
+    /// the lowest uncovered waiter to steal the role. Returns the flush
+    /// result and how many parked committers the wake pass covered.
+    fn run_flush(&self, mut st: MutexGuard<'_, FlushState>) -> (Result<Lsn, WalError>, u64) {
+        let result = self.flush_locked(&mut st);
+        let batch = st.scratch.len() as u64;
+        drop(st);
+        let (woken, remaining) = self.queue.wake(self.config.flusher == FlusherMode::Steal);
+        if result.is_ok() && batch > 0 {
+            // ordering: monotonic statistics counter.
+            self.group_commits.fetch_add(woken, Ordering::Relaxed);
+        }
+        if remaining {
+            self.signal_flusher();
+        }
+        (result, woken)
+    }
+
+    /// One physical flush. Caller holds the flush lock via `st`.
+    fn flush_locked(&self, st: &mut FlushState) -> Result<Lsn, WalError> {
+        st.scratch.clear();
+        let upto = self.ring.drain(&mut st.cursor, &mut st.scratch);
+        if !st.scratch.is_empty() {
+            // The drain freed ring space: release any appender stuck in
+            // `wait_for_space`.
+            parking::unpark_all(self.space_addr());
+        }
+        if self.queue.is_poisoned() {
+            // Discard-drain: the device is dead, so completed bytes are
+            // dropped without advancing the watermark — the fixed ring
+            // must keep freeing space or appenders would wedge forever.
+            return Err(WalError::Poisoned);
+        }
+        if st.scratch.is_empty() {
+            return Ok(self.queue.durable());
+        }
+        // ordering: monotonic statistics counters.
+        let flush_no = self.flushes.fetch_add(1, Ordering::Relaxed) + 1;
+        self.bytes
+            .fetch_add(st.scratch.len() as u64, Ordering::Relaxed); // ordering: see above.
+                                                                    // ordering: relaxed max-update — advisory statistics.
+        let _ = self
+            .max_batch_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |m| {
+                (m < st.scratch.len() as u64).then_some(st.scratch.len() as u64)
+            });
+        if !self.config.flush_latency.is_zero() {
+            let _io = sli_profiler::enter(Category::IoWait);
+            // Simulated log-device flush time for the paper's group-commit
+            // model, not a wait on another thread. sli-lint: allow(sleep)
+            std::thread::sleep(self.config.flush_latency);
+        }
+        if self.config.fault.fail_flush == Some(flush_no) {
+            // Injected fsync failure: a prefix of the batch reaches the
+            // device (a torn partial flush), the watermark stays put, and
+            // the device is dead from here on. The drained suffix is lost
+            // — just like bytes stranded in a failed controller.
+            let keep = st.scratch.len().saturating_sub(self.config.fault.drop_last);
+            if self.config.retain {
+                self.device.lock().extend_from_slice(&st.scratch[..keep]);
+            }
+            // ordering: monotonic statistics counter.
+            self.flush_failures.fetch_add(1, Ordering::Relaxed);
+            let dropped = st.scratch.len() - keep;
+            self.queue.poison(flush_no, dropped, upto);
+            return Err(WalError::FlushFailed {
+                flush: flush_no,
+                dropped,
+            });
+        }
+        if self.config.retain {
+            self.device.lock().extend_from_slice(&st.scratch);
+        }
+        // In ephemeral mode the batch is simply dropped: the simulated
+        // device has no persistent medium and the LSN watermark is the
+        // durability contract.
+        self.queue.advance(upto);
+        Ok(upto)
+    }
+}
+
+/// The dedicated flusher: sleeps on its doorbell, paces batches with an
+/// adaptive window (double it when flushes go out with at most one
+/// waiter, halve it when groups form on their own), and keeps flushing
+/// while uncovered committers remain (`run_flush` re-rings the doorbell
+/// for them).
+fn flusher_main(inner: Arc<LogInner>) {
+    let max_window = inner.config.batch_window;
+    let mut window = Duration::ZERO;
+    'idle: loop {
+        parking::park(
+            inner.flusher_addr(),
+            // ordering: acquire pairs with the release stores in
+            // `signal_flusher` and `LogManager::drop`.
+            || !inner.work.load(Ordering::Acquire) && !inner.shutdown.load(Ordering::Acquire),
+            || {},
+            Some(Instant::now() + Duration::from_millis(50)),
+        );
+        loop {
+            // ordering: acquire — pairs with the release in `Drop`.
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // ordering: AcqRel swap consumes the doorbell and observes
+            // the waiter state stored before it was rung.
+            if !inner.work.swap(false, Ordering::AcqRel) {
+                continue 'idle;
+            }
+            let _work = sli_profiler::enter(Category::Work(Component::LogManager));
+            if !window.is_zero() && !inner.queue.is_poisoned() {
+                // Adaptive batch window: give committers racing toward
+                // the queue a moment to join this group. Simulated
+                // device pacing, not a wait on a specific thread.
+                // sli-lint: allow(sleep)
+                std::thread::sleep(window);
+            }
+            let Some(st) = inner.flush.try_lock() else {
+                // An inline committer owns the device; it re-rings the
+                // doorbell if its batch leaves waiters uncovered.
+                continue 'idle;
+            };
+            let (result, woken) = inner.run_flush(st);
+            if result.is_err() {
+                continue 'idle;
+            }
+            // Tune the window toward "groups form, latency doesn't":
+            // a lonely flush earns more batching, an oversized group
+            // means the window is adding pure latency.
+            if !max_window.is_zero() {
+                if woken <= 1 {
+                    window = (window * 2).max(Duration::from_micros(25)).min(max_window);
+                } else if woken >= 4 {
+                    window /= 2;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The write-ahead log manager.
+pub struct LogManager {
+    inner: Arc<LogInner>,
+    flusher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl LogManager {
@@ -176,139 +517,110 @@ impl LogManager {
     /// `durable.len()`; the watermark starts there too.
     pub fn with_device(config: LogConfig, durable: Vec<u8>) -> Self {
         let base = durable.len() as Lsn;
-        LogManager {
-            config,
-            buffer: LogBuffer::with_base(base),
-            durable: AtomicU64::new(base),
-            flush_lock: Mutex::new(()),
-            flush_cv: Condvar::new(),
+        let ring = LogRing::new(config.clamped_ring(), base);
+        let inner = Arc::new(LogInner {
+            ring,
+            queue: CommitQueue::new(base),
+            flush: Mutex::new(FlushState {
+                cursor: DrainCursor::new(base),
+                scratch: Vec::with_capacity(1 << 16),
+            }),
             device: Mutex::new(durable),
-            poisoned: AtomicBool::new(false),
+            work: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
             appends: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             flush_failures: AtomicU64::new(0),
-        }
+            group_commits: AtomicU64::new(0),
+            max_batch_bytes: AtomicU64::new(0),
+            reserve_waits: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            config,
+        });
+        let flusher = match inner.config.flusher {
+            FlusherMode::Thread => {
+                let inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("sli-log-flusher".into())
+                        .spawn(move || flusher_main(inner))
+                        .expect("spawn log flusher"),
+                )
+            }
+            FlusherMode::Steal => None,
+        };
+        LogManager { inner, flusher }
     }
 
     /// Whether flushed bytes are retained (and thus recoverable).
     pub fn retains(&self) -> bool {
-        self.config.retain
+        self.inner.config.retain
     }
 
     /// Whether a flush failure has poisoned the device.
     pub fn is_poisoned(&self) -> bool {
-        // ordering: acquire pairs with the release store in the failing
-        // flush so an observed poison implies the failure preceded it.
-        self.poisoned.load(Ordering::Acquire)
+        self.inner.queue.is_poisoned()
     }
 
     /// Snapshot of the durable byte stream (requires `retain`; empty
     /// otherwise). Includes any torn prefix a failed partial flush left
     /// behind — exactly what a post-crash scan would read.
     pub fn durable_snapshot(&self) -> Vec<u8> {
-        self.device.lock().clone()
+        self.inner.device.lock().clone()
     }
 
-    /// Append a record to the log buffer; returns the LSN to force for
-    /// durability.
+    /// Append a record to the log ring; returns the LSN to force for
+    /// durability. Lock-free: one fetch-add claims the range, the record
+    /// encodes into its slot, a release store publishes it.
     pub fn append(&self, rec: LogRecord) -> Lsn {
         let _work = sli_profiler::enter(Category::Work(Component::LogManager));
         // ordering: monotonic statistics counter; nothing is published
         // through it.
-        self.appends.fetch_add(1, Ordering::Relaxed);
-        self.buffer.append(&rec)
+        self.inner.appends.fetch_add(1, Ordering::Relaxed);
+        thread_local! {
+            static ENCODE: std::cell::RefCell<bytes::BytesMut> =
+                std::cell::RefCell::new(bytes::BytesMut::with_capacity(1 << 12));
+        }
+        ENCODE.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            rec.encode(&mut buf);
+            self.inner.append_bytes(&buf)
+        })
     }
 
-    /// Force the log up to `lsn` (commit point for `_txn`). Uses group
-    /// commit: if another thread is flushing, wait for its flush to cover
-    /// our LSN instead of issuing another. Returns `Err` when the force
-    /// could not make the record durable — the commit must NOT be
-    /// acknowledged in that case.
+    /// Force the log up to `lsn` (commit point for `_txn`). Group commit:
+    /// enqueue on the committer queue, flush inline if the device is
+    /// idle, otherwise park until a batch covers our LSN. Returns `Err`
+    /// when the force could not make the record durable — the commit must
+    /// NOT be acknowledged in that case.
     pub fn commit(&self, _txn: u64, lsn: Lsn) -> Result<(), WalError> {
         let _work = sli_profiler::enter(Category::Work(Component::LogManager));
         // ordering: monotonic statistics counter (see `append`).
-        self.commits.fetch_add(1, Ordering::Relaxed);
-        if self.durable_lsn() >= lsn {
-            // Already durable — even on a poisoned device the record made
-            // it out before the failure.
-            return Ok(());
-        }
-        let _guard = self.flush_lock.lock();
-        // Re-check under the lock: while we queued, an earlier flusher may
-        // have drained a batch containing our record — the group-commit win.
-        if self.durable_lsn() >= lsn {
-            return Ok(());
-        }
-        self.flush_locked().map(|_| ())
+        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        self.inner.commit_wait(lsn)
     }
 
-    /// Flush everything pending regardless of commit LSNs. Returns the
-    /// durable watermark after the flush. Used after bulk loads and at
-    /// the end of recovery.
+    /// Flush everything reserved so far regardless of commit LSNs,
+    /// waiting out any in-flight appender holes. Returns the durable
+    /// watermark after the flush. Used after bulk loads and at the end
+    /// of recovery.
     pub fn force(&self) -> Result<Lsn, WalError> {
-        let _guard = self.flush_lock.lock();
-        if self.buffer.pending_bytes() == 0 {
-            return if self.is_poisoned() {
-                Err(WalError::Poisoned)
-            } else {
-                Ok(self.durable_lsn())
-            };
-        }
-        self.flush_locked()
-    }
-
-    /// One physical flush. Caller must hold `flush_lock`.
-    fn flush_locked(&self) -> Result<Lsn, WalError> {
-        if self.is_poisoned() {
-            return Err(WalError::Poisoned);
-        }
-        // We hold the flush lock: drain and flush everything pending. The
-        // lock is held across the (simulated) device time, exactly like a
-        // real single log device — committers arriving meanwhile queue up
-        // and ride the next batch together.
-        let (batch, upto) = self.buffer.drain();
-        // ordering: monotonic statistics counters (see `append`).
-        let flush_no = self.flushes.fetch_add(1, Ordering::Relaxed) + 1;
-        self.bytes.fetch_add(batch.len() as u64, Ordering::Relaxed); // ordering: see above.
-        if !self.config.flush_latency.is_zero() {
-            let _io = sli_profiler::enter(Category::IoWait);
-            // Simulated log-device flush time for the paper's group-commit
-            // model, not a wait on another thread. sli-lint: allow(sleep)
-            std::thread::sleep(self.config.flush_latency);
-        }
-        if self.config.fault.fail_flush == Some(flush_no) {
-            // Injected fsync failure: a prefix of the batch reaches the
-            // device (a torn partial flush), the watermark stays put, and
-            // the device is dead from here on. The drained suffix is lost
-            // — just like bytes stranded in a failed controller.
-            let keep = batch.len().saturating_sub(self.config.fault.drop_last);
-            if self.config.retain {
-                self.device.lock().extend_from_slice(&batch[..keep]);
+        let _work = sli_profiler::enter(Category::Work(Component::LogManager));
+        let inner = &self.inner;
+        let target = inner.ring.reserved_lsn();
+        loop {
+            let st = inner.flush.lock();
+            inner.run_flush(st).0?;
+            if inner.queue.durable() >= target {
+                return Ok(inner.queue.durable());
             }
-            // ordering: monotonic statistics counter (see `append`).
-            self.flush_failures.fetch_add(1, Ordering::Relaxed);
-            // ordering: release pairs with the acquire in `is_poisoned` —
-            // whoever sees the poison sees the failed flush's effects.
-            self.poisoned.store(true, Ordering::Release);
-            return Err(WalError::FlushFailed {
-                flush: flush_no,
-                dropped: batch.len() - keep,
-            });
+            // A reservation ahead of the watermark is still encoding
+            // (a hole pinned the drain); give its thread a beat.
+            std::thread::yield_now();
         }
-        if self.config.retain {
-            self.device.lock().extend_from_slice(&batch);
-        }
-        // In ephemeral mode `batch` is simply dropped: the simulated
-        // device has no persistent medium and the LSN watermark is the
-        // durability contract.
-        // ordering: AcqRel — the release half publishes the flushed batch
-        // to `durable_lsn` readers; acquire orders against a concurrent
-        // committer's fetch_max of a later watermark.
-        self.durable.fetch_max(upto, Ordering::AcqRel);
-        self.flush_cv.notify_all();
-        Ok(upto)
     }
 
     /// Append an abort record (no force needed; aborts are lazy).
@@ -316,11 +628,21 @@ impl LogManager {
         self.append(LogRecord::abort(txn));
     }
 
-    /// Highest durable LSN.
+    /// Highest durable LSN. A plain atomic load.
     pub fn durable_lsn(&self) -> Lsn {
-        // ordering: acquire pairs with the fetch_max in `flush_locked` so
-        // an observed watermark implies the records below it were flushed.
-        self.durable.load(Ordering::Acquire)
+        self.inner.queue.durable()
+    }
+
+    /// LSN the next append will start at. A plain atomic load — safe for
+    /// dashboards; never contends with appenders.
+    pub fn next_lsn(&self) -> Lsn {
+        self.inner.ring.reserved_lsn()
+    }
+
+    /// Bytes reserved but not yet drained to the device. Plain atomic
+    /// loads (telemetry).
+    pub fn pending_bytes(&self) -> usize {
+        self.inner.ring.pending_bytes() as usize
     }
 
     /// Counter snapshot.
@@ -328,11 +650,27 @@ impl LogManager {
         // ordering: relaxed loads — the snapshot is advisory reporting and
         // each counter is independent.
         LogStats {
-            appends: self.appends.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            flush_failures: self.flush_failures.load(Ordering::Relaxed),
+            appends: self.inner.appends.load(Ordering::Relaxed),
+            commits: self.inner.commits.load(Ordering::Relaxed),
+            flushes: self.inner.flushes.load(Ordering::Relaxed),
+            bytes: self.inner.bytes.load(Ordering::Relaxed),
+            flush_failures: self.inner.flush_failures.load(Ordering::Relaxed),
+            group_commits: self.inner.group_commits.load(Ordering::Relaxed),
+            max_batch_bytes: self.inner.max_batch_bytes.load(Ordering::Relaxed),
+            commit_parks: self.inner.queue.parks(),
+            reserve_waits: self.inner.reserve_waits.load(Ordering::Relaxed),
+            steals: self.inner.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for LogManager {
+    fn drop(&mut self) {
+        if let Some(h) = self.flusher.take() {
+            // ordering: release pairs with the flusher's acquire loads.
+            self.inner.shutdown.store(true, Ordering::Release);
+            parking::unpark_all(self.inner.flusher_addr());
+            let _ = h.join();
         }
     }
 }
@@ -341,7 +679,7 @@ impl std::fmt::Debug for LogManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LogManager")
             .field("durable_lsn", &self.durable_lsn())
-            .field("retain", &self.config.retain)
+            .field("retain", &self.inner.config.retain)
             .field("poisoned", &self.is_poisoned())
             .field("stats", &self.stats())
             .finish()
@@ -520,5 +858,162 @@ mod tests {
             "seeds should spread crash points"
         );
         assert!(!FaultPlan::none().is_armed());
+    }
+
+    /// Satellite regression for the dead `flush_cv`: with a slow device
+    /// and many concurrent committers, waiters must *park* on the
+    /// committer queue (not spin or convoy on the flush mutex — which
+    /// they never even touch except by `try_lock`), and groups must form.
+    #[test]
+    fn committers_park_instead_of_convoying_on_the_flush_mutex() {
+        let log = Arc::new(LogManager::new(LogConfig {
+            flush_latency: Duration::from_millis(2),
+            ..LogConfig::default()
+        }));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let c = log.append(LogRecord::commit(t * 100 + i));
+                    log.commit(t * 100 + i, c).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = log.stats();
+        assert!(
+            stats.commit_parks > 0,
+            "waiters should park on the committer queue: {stats:?}"
+        );
+        assert!(
+            stats.flushes < stats.commits,
+            "group commit should batch: {stats:?}"
+        );
+        assert!(
+            stats.group_commits > 0,
+            "wake passes should cover parked committers: {stats:?}"
+        );
+    }
+
+    /// Steal mode: no background thread, committers hand the flusher
+    /// role to each other; every commit still gets acknowledged.
+    #[test]
+    fn steal_mode_commits_without_a_flusher_thread() {
+        let log = Arc::new(LogManager::new(LogConfig {
+            flush_latency: Duration::from_micros(200),
+            flusher: FlusherMode::Steal,
+            ..LogConfig::default()
+        }));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let c = log.append(LogRecord::commit(t * 100 + i));
+                    log.commit(t * 100 + i, c).unwrap();
+                    assert!(log.durable_lsn() >= c);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.stats().commits, 100);
+    }
+
+    /// Steal mode preserves the failure contract bit-for-bit.
+    #[test]
+    fn steal_mode_preserves_fault_semantics() {
+        let log = LogManager::new(LogConfig {
+            retain: true,
+            fault: FaultPlan::fail_nth(1, 0),
+            flusher: FlusherMode::Steal,
+            ..LogConfig::default()
+        });
+        let lsn = log.append(LogRecord::commit(7));
+        assert_eq!(
+            log.commit(7, lsn),
+            Err(WalError::FlushFailed {
+                flush: 1,
+                dropped: 0
+            })
+        );
+        assert!(log.is_poisoned());
+        assert_eq!(log.durable_lsn(), 0);
+    }
+
+    /// A ring smaller than the workload: appenders must backpressure on
+    /// drains (reserve_waits) without deadlocking or losing bytes, even
+    /// after the device poisons (discard-drain keeps space flowing).
+    #[test]
+    fn tiny_ring_backpressures_without_deadlock() {
+        let log = LogManager::new(LogConfig {
+            retain: true,
+            ring_bytes: MIN_RING,
+            ..LogConfig::default()
+        });
+        // Several rings' worth of appends with no commits: the only way
+        // these complete is `wait_for_space` waking the flusher to drain.
+        for i in 0..50u64 {
+            log.append(LogRecord::update(i, 1, 0, 0, b"0123456789", b"abcdefghij"));
+        }
+        log.force().unwrap();
+        let snap = log.durable_snapshot();
+        let sum = LogRecord::decode_all(&snap);
+        assert_eq!(sum.end, crate::record::DecodeEnd::Clean);
+        assert_eq!(sum.records.len(), 50);
+        assert!(
+            log.stats().reserve_waits > 0,
+            "a 256-byte ring must exert backpressure: {:?}",
+            log.stats()
+        );
+    }
+
+    /// Poisoned device + full ring: appends keep completing because the
+    /// discard-drain frees space without ever advancing the watermark.
+    #[test]
+    fn poisoned_ring_discards_but_never_acknowledges() {
+        let log = LogManager::new(LogConfig {
+            retain: true,
+            ring_bytes: MIN_RING,
+            fault: FaultPlan::fail_nth(1, 2),
+            ..LogConfig::default()
+        });
+        let lsn = log.append(LogRecord::commit(1));
+        assert!(matches!(
+            log.commit(1, lsn),
+            Err(WalError::FlushFailed { .. })
+        ));
+        let device_after_failure = log.durable_snapshot().len();
+        // Push several rings' worth of bytes through the dead log.
+        let mut last = lsn;
+        for i in 0..100u64 {
+            last = log.append(LogRecord::update(2, 1, 0, 0, b"0123456789", b"abcdefghij"));
+            let _ = i;
+        }
+        assert_eq!(log.force(), Err(WalError::Poisoned));
+        assert!(last > lsn);
+        assert_eq!(log.durable_lsn(), 0, "watermark frozen at the failure");
+        assert_eq!(
+            log.durable_snapshot().len(),
+            device_after_failure,
+            "no bytes reach a poisoned device"
+        );
+    }
+
+    #[test]
+    fn telemetry_reads_are_latch_free_and_track_appends() {
+        let log = LogManager::new(LogConfig::default());
+        assert_eq!(log.next_lsn(), 0);
+        assert_eq!(log.pending_bytes(), 0);
+        let lsn = log.append(LogRecord::begin(1));
+        assert_eq!(log.next_lsn(), lsn);
+        assert_eq!(log.pending_bytes() as u64, lsn);
+        log.force().unwrap();
+        assert_eq!(log.pending_bytes(), 0);
+        assert_eq!(log.next_lsn(), lsn);
     }
 }

@@ -1,0 +1,391 @@
+//! The lock-free log-buffer ring.
+//!
+//! Appenders claim byte ranges of a fixed ring with a single atomic
+//! fetch-add on a **packed position word** (reservation-slot counter in
+//! the high 24 bits, byte LSN in the low 40), encode their record into
+//! the claimed range *outside any latch*, and publish completion by
+//! storing the record's end-LSN into a per-reservation **sequence slot**.
+//! The flusher scans the sequence slots in reservation order to compute
+//! the contiguous *completed* watermark: a reserved-but-unpublished
+//! record is a **hole** that pins the flush boundary — reservation is not
+//! durability.
+//!
+//! Space reclamation is a single `taken` watermark: `drain` advances it
+//! after copying bytes out, and a reserver may only write once every byte
+//! of its range has been drained (`end - taken <= capacity`). Because a
+//! record is at least [`MIN_RECORD`] bytes and the ring provisions one
+//! sequence slot per [`BYTES_PER_SLOT`] bytes of capacity, byte
+//! backpressure alone guarantees two in-flight reservations never share a
+//! sequence slot: a same-slot successor starts at least `capacity +
+//! capacity/16 - MIN_RECORD` bytes later, which the `taken` gate cannot
+//! admit until the predecessor has been drained.
+//!
+//! Stale sequence slots need no ABA tagging: end-LSNs are strictly
+//! monotonic per slot, so a value left by an earlier lap is always `<=`
+//! the scan point and reads as "unpublished".
+
+// The `sli_check` feature swaps in the model checker's schedule-aware
+// atomics so `crates/check` can exhaustively interleave reserve / publish
+// / drain (see `crates/check/tests/wal_ring_models.rs`).
+#[cfg(feature = "sli_check")]
+use sli_check::sync::{AtomicU64, Ordering};
+#[cfg(not(feature = "sli_check"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use std::cell::UnsafeCell;
+
+use crate::record::Lsn;
+
+/// Bits of the packed position word holding the byte LSN.
+const LSN_BITS: u32 = 40;
+/// Mask extracting the byte LSN from the packed position word.
+const LSN_MASK: u64 = (1 << LSN_BITS) - 1;
+/// One reservation in the packed word's slot-counter field.
+const SLOT_UNIT: u64 = 1 << LSN_BITS;
+/// Ring bytes per publication slot. Any record is strictly larger
+/// ([`MIN_RECORD`]), which is what makes slot reuse collision-free (see
+/// module docs).
+pub const BYTES_PER_SLOT: u64 = 16;
+/// Smallest encodable record (an 8-byte frame header plus the 9-byte
+/// begin/commit/abort body). Checked against the real encoder in tests.
+pub const MIN_RECORD: usize = 17;
+/// Smallest supported ring (keeps `nslots >= 16`).
+pub const MIN_RING: u64 = 256;
+/// Largest supported ring: the slot counter must cover `cap / 16`
+/// reservations within its 24 bits.
+pub const MAX_RING: u64 = 1 << 28;
+
+/// A claimed byte range `[start, end)` plus the sequence slot its
+/// completion is published through.
+#[derive(Clone, Copy, Debug)]
+pub struct Reservation {
+    /// First byte LSN of the claimed range.
+    pub start: Lsn,
+    /// One past the last byte LSN (the record's commit LSN).
+    pub end: Lsn,
+    slot: usize,
+}
+
+/// The flusher's private scan position: the contiguous completed
+/// watermark and the absolute count of reservations scanned past. One
+/// cursor exists per ring, owned by whoever holds the flush lock.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainCursor {
+    upto: Lsn,
+    slot: u64,
+}
+
+impl DrainCursor {
+    /// Cursor for a fresh ring whose first byte lands at LSN `base`.
+    pub fn new(base: Lsn) -> Self {
+        DrainCursor {
+            upto: base,
+            slot: 0,
+        }
+    }
+
+    /// The contiguous completed watermark this cursor has drained to.
+    pub fn upto(&self) -> Lsn {
+        self.upto
+    }
+}
+
+/// Lock-free log-buffer ring. See the module docs for the protocol.
+pub struct LogRing {
+    cap: u64,
+    mask: u64,
+    buf: Box<[UnsafeCell<u8>]>,
+    /// Per-reservation publication slots holding the end-LSN of the last
+    /// completed record that occupied them (0 = never used).
+    slots: Box<[AtomicU64]>,
+    nslots: u64,
+    /// Packed `slot_counter:24 | next_byte_lsn:40`; one fetch-add claims
+    /// both a byte range and a publication slot.
+    pos: AtomicU64,
+    /// Bytes the drainer has copied out — the floor of the ring window.
+    taken: AtomicU64,
+}
+
+// SAFETY: the `UnsafeCell` buffer is a shared byte arena with disjoint
+// ownership enforced by the reservation protocol: `reserve` hands out
+// non-overlapping ranges, `write` requires the range to be drained
+// (`writable`), and `drain` only reads ranges whose publication it
+// acquire-loaded. No two threads ever touch the same byte without a
+// release/acquire edge between them.
+unsafe impl Send for LogRing {}
+// SAFETY: see the `Send` justification above.
+unsafe impl Sync for LogRing {}
+
+impl LogRing {
+    /// A ring of `cap` bytes (power of two in `[MIN_RING, MAX_RING]`)
+    /// whose first reserved byte lands at LSN `base`.
+    pub fn new(cap: u64, base: Lsn) -> Self {
+        assert!(
+            cap.is_power_of_two() && (MIN_RING..=MAX_RING).contains(&cap),
+            "log ring capacity {cap} must be a power of two in [{MIN_RING}, {MAX_RING}]"
+        );
+        assert!(base <= LSN_MASK, "base LSN {base} exceeds the packed word");
+        let nslots = cap / BYTES_PER_SLOT;
+        let buf: Vec<UnsafeCell<u8>> = (0..cap).map(|_| UnsafeCell::new(0)).collect();
+        let slots: Vec<AtomicU64> = (0..nslots).map(|_| AtomicU64::new(0)).collect();
+        LogRing {
+            cap,
+            mask: cap - 1,
+            buf: buf.into_boxed_slice(),
+            slots: slots.into_boxed_slice(),
+            nslots,
+            pos: AtomicU64::new(base),
+            taken: AtomicU64::new(base),
+        }
+    }
+
+    /// Ring capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.cap
+    }
+
+    /// Claim `len` bytes. One atomic op; never blocks. The caller must
+    /// check [`writable`](Self::writable) before [`write`](Self::write).
+    pub fn reserve(&self, len: usize) -> Reservation {
+        debug_assert!(
+            len >= MIN_RECORD,
+            "record of {len} bytes below the slot-safety minimum"
+        );
+        assert!(
+            (len as u64) <= self.cap,
+            "record of {len} bytes exceeds the {} byte log ring",
+            self.cap
+        );
+        // ordering: relaxed — the fetch-add's atomicity alone makes the
+        // claimed range exclusive; all data publication goes through the
+        // release stores in `publish` and `drain`.
+        let old = self
+            .pos
+            .fetch_add(SLOT_UNIT + len as u64, Ordering::Relaxed);
+        let start = old & LSN_MASK;
+        let end = start + len as u64;
+        assert!(end <= LSN_MASK, "log LSN space (1 TiB) exhausted");
+        Reservation {
+            start,
+            end,
+            slot: ((old >> LSN_BITS) & (self.nslots - 1)) as usize,
+        }
+    }
+
+    /// Whether every byte of `r`'s range has been drained out of the ring
+    /// (and may therefore be overwritten).
+    pub fn writable(&self, r: &Reservation) -> bool {
+        // ordering: acquire pairs with the release store of `taken` in
+        // `drain`, so the drainer's copy-out of the bytes we are about to
+        // overwrite happened-before our write.
+        r.end <= self.taken.load(Ordering::Acquire) + self.cap
+    }
+
+    /// Copy the encoded record into its reserved range. The caller must
+    /// have observed [`writable`](Self::writable).
+    pub fn write(&self, r: &Reservation, bytes: &[u8]) {
+        debug_assert_eq!(bytes.len() as u64, r.end - r.start);
+        debug_assert!(self.writable(r));
+        let off = (r.start & self.mask) as usize;
+        let first = bytes.len().min(self.cap as usize - off);
+        // SAFETY: `reserve` hands out disjoint ranges, so no other writer
+        // aliases `[start, end)`; `writable` proved the drainer finished
+        // copying the previous lap's bytes out of these positions (the
+        // `taken` acquire edge); plain `u8` needs no validity or drop
+        // care. The wrap-around split keeps both copies in bounds.
+        unsafe {
+            let base = self.buf.as_ptr() as *mut u8;
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), base.add(off), first);
+            std::ptr::copy_nonoverlapping(bytes.as_ptr().add(first), base, bytes.len() - first);
+        }
+    }
+
+    /// Publish completion of `r`: the drain scan may now cross it.
+    pub fn publish(&self, r: &Reservation) {
+        // ordering: release pairs with the acquire load in `drain` — a
+        // scanner that observes this end-LSN also observes the record
+        // bytes stored by `write`.
+        self.slots[r.slot].store(r.end, Ordering::Release);
+    }
+
+    /// Drain every contiguously published byte into `out`, stopping at
+    /// the first hole (a reserved-but-unpublished record). Returns the new
+    /// completed watermark and releases the drained space to reservers.
+    /// The caller must be the only drainer (hold the flush lock) and own
+    /// the ring's one [`DrainCursor`].
+    pub fn drain(&self, cur: &mut DrainCursor, out: &mut Vec<u8>) -> Lsn {
+        loop {
+            let slot = (cur.slot & (self.nslots - 1)) as usize;
+            // ordering: acquire pairs with the release in `publish` (see
+            // there). A stale value from an earlier lap is always <= the
+            // scan point (end-LSNs are monotone per slot) and reads as a
+            // hole.
+            let end = self.slots[slot].load(Ordering::Acquire);
+            if end <= cur.upto {
+                break;
+            }
+            self.copy_out(cur.upto, end, out);
+            cur.upto = end;
+            cur.slot = cur.slot.wrapping_add(1);
+        }
+        // ordering: release pairs with the acquire in `writable` — a
+        // reserver that sees the new floor also sees our copy-out done,
+        // so it may overwrite the drained bytes.
+        self.taken.store(cur.upto, Ordering::Release);
+        cur.upto
+    }
+
+    fn copy_out(&self, start: Lsn, end: Lsn, out: &mut Vec<u8>) {
+        let len = (end - start) as usize;
+        let off = (start & self.mask) as usize;
+        let first = len.min(self.cap as usize - off);
+        // SAFETY: `[start, end)` was published (the acquire edge in
+        // `drain` ordered its bytes before this read), and no writer can
+        // overwrite it until we advance `taken` past it — which happens
+        // only after this copy returns. The wrap split stays in bounds.
+        unsafe {
+            let base = self.buf.as_ptr() as *const u8;
+            out.extend_from_slice(std::slice::from_raw_parts(base.add(off), first));
+            out.extend_from_slice(std::slice::from_raw_parts(base, len - first));
+        }
+    }
+
+    /// LSN the next reservation will start at. A plain atomic load — the
+    /// telemetry read that used to take the buffer latch.
+    pub fn reserved_lsn(&self) -> Lsn {
+        // ordering: relaxed — advisory telemetry; nothing is published
+        // through this read.
+        self.pos.load(Ordering::Relaxed) & LSN_MASK
+    }
+
+    /// Bytes reserved but not yet drained. Plain atomic loads.
+    pub fn pending_bytes(&self) -> u64 {
+        // ordering: relaxed — advisory telemetry (two independent loads;
+        // the value is a point-in-time estimate).
+        let reserved = self.pos.load(Ordering::Relaxed) & LSN_MASK;
+        // ordering: relaxed — see above.
+        reserved.saturating_sub(self.taken.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(all(test, not(feature = "sli_check")))]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use std::sync::Arc;
+
+    #[test]
+    fn min_record_matches_the_encoder() {
+        let mut buf = BytesMut::new();
+        let n = crate::record::LogRecord::commit(1).encode(&mut buf);
+        assert_eq!(n, MIN_RECORD, "slot-safety proof rests on this bound");
+    }
+
+    #[test]
+    fn reserve_hands_out_disjoint_monotone_ranges() {
+        let ring = LogRing::new(1024, 0);
+        let a = ring.reserve(17);
+        let b = ring.reserve(20);
+        assert_eq!((a.start, a.end), (0, 17));
+        assert_eq!((b.start, b.end), (17, 37));
+        assert_ne!(a.slot, b.slot);
+    }
+
+    #[test]
+    fn drain_stops_at_a_hole_and_resumes_after_publish() {
+        let ring = LogRing::new(1024, 0);
+        let r1 = ring.reserve(17);
+        let r2 = ring.reserve(17);
+        ring.write(&r2, &[2u8; 17]);
+        ring.publish(&r2);
+        let mut cur = DrainCursor::new(0);
+        let mut out = Vec::new();
+        // r1 is reserved but unpublished: the scan must not cross it even
+        // though r2 is complete.
+        assert_eq!(ring.drain(&mut cur, &mut out), 0);
+        assert!(out.is_empty());
+        ring.write(&r1, &[1u8; 17]);
+        ring.publish(&r1);
+        assert_eq!(ring.drain(&mut cur, &mut out), r2.end);
+        assert_eq!(out[..17], [1u8; 17]);
+        assert_eq!(out[17..], [2u8; 17]);
+    }
+
+    #[test]
+    fn wraparound_preserves_bytes() {
+        let ring = LogRing::new(MIN_RING, 0);
+        let mut cur = DrainCursor::new(0);
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        for i in 0..64u64 {
+            let len = 17 + (i as usize % 40);
+            let fill = (i & 0xFF) as u8;
+            let r = ring.reserve(len);
+            assert!(ring.writable(&r), "serial use never runs out of space");
+            let bytes = vec![fill; len];
+            ring.write(&r, &bytes);
+            ring.publish(&r);
+            expect.extend_from_slice(&bytes);
+            ring.drain(&mut cur, &mut got);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let ring = LogRing::new(MIN_RING, 0);
+        let r1 = ring.reserve(200);
+        ring.write(&r1, &[7u8; 200]);
+        ring.publish(&r1);
+        let r2 = ring.reserve(200);
+        assert!(!ring.writable(&r2), "256-byte ring cannot hold both");
+        let mut cur = DrainCursor::new(0);
+        let mut out = Vec::new();
+        ring.drain(&mut cur, &mut out);
+        assert!(ring.writable(&r2), "drain frees the space");
+    }
+
+    #[test]
+    fn concurrent_reserve_publish_drain_loses_nothing() {
+        let ring = Arc::new(LogRing::new(4096, 0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                let mut written = 0u64;
+                for i in 0..500usize {
+                    let len = 17 + (i % 64);
+                    let r = ring.reserve(len);
+                    while !ring.writable(&r) {
+                        std::thread::yield_now();
+                    }
+                    ring.write(&r, &vec![t * 50 + (i % 50) as u8; len]);
+                    ring.publish(&r);
+                    written += len as u64;
+                }
+                written
+            }));
+        }
+        let drainer = {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut cur = DrainCursor::new(0);
+                let mut out = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    ring.drain(&mut cur, &mut out);
+                    std::thread::yield_now();
+                }
+                ring.drain(&mut cur, &mut out);
+                out
+            })
+        };
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let out = drainer.join().unwrap();
+        assert_eq!(out.len() as u64, total);
+        assert_eq!(ring.pending_bytes(), 0);
+        assert_eq!(ring.reserved_lsn(), total);
+    }
+}

@@ -182,11 +182,25 @@ static BUCKETS: Buckets = {
 };
 
 #[inline]
+#[cfg(not(feature = "sli_check"))]
 fn bucket_for(addr: usize) -> &'static Bucket {
     // Fibonacci hash over the address (locks are >= word aligned, so the
     // low bits carry no entropy).
     let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     &BUCKETS.0[(h >> (64 - 6)) % NUM_BUCKETS]
+}
+
+#[inline]
+#[cfg(feature = "sli_check")]
+fn bucket_for(_addr: usize) -> &'static Bucket {
+    // Under the model checker every execution (including the replay of a
+    // candidate failure) runs model threads on fresh stacks, so
+    // stack-derived park addresses differ run to run. Hashing them would
+    // make bucket *collisions* execution-dependent — schedule
+    // nondeterminism the replayer rightly rejects. Collapse to one
+    // bucket: deterministic, and the maximal-collision case is exactly
+    // the contention the models should explore.
+    &BUCKETS.0[0]
 }
 
 // Global park/unpark counters, reported by the harness's latch-scaling
