@@ -9,11 +9,13 @@ use sli_core::{
     AdaptivePolicy, LockLevel, LockManager, LockManagerConfig, LockPolicy, LockStatsSnapshot,
     ScopeStatsSnapshot, TableId,
 };
+use sli_mvcc::{MvccConfig, MvccStats};
 use sli_storage::{
     BufferPool, BufferPoolConfig, BufferPoolStats, HashIndex, HeapTable, OrderedIndex, Rid,
 };
 use sli_wal::{LogConfig, LogManager, LogRecord, LogStats, Lsn, WalError, LOADER_TXN};
 
+use crate::backend::{BackendKind, ConcurrencyBackend, LockedBackend, MvccBackend};
 use crate::session::Session;
 
 /// Engine-level errors (catalog misuse, capacity; transaction errors are
@@ -78,6 +80,12 @@ pub struct DatabaseConfig {
     /// the baseline lock-manager share into the paper's 10-25 % band
     /// (see EXPERIMENTS.md "calibration").
     pub row_work_ns: u64,
+    /// Which concurrency-control engine to run transactions on
+    /// (default: the hierarchical lock manager).
+    pub backend: BackendKind,
+    /// MVCC store tuning (only used when `backend` is
+    /// [`BackendKind::Mvcc`]).
+    pub mvcc: MvccConfig,
 }
 
 impl DatabaseConfig {
@@ -137,6 +145,12 @@ impl DatabaseConfig {
         self
     }
 
+    /// Builder: select the concurrency backend (see [`BackendKind`]).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
     /// Builder: retain the log's durable bytes in a simulated device so
     /// the database can be recovered from them (see
     /// [`Database::recover`]). Off by default — retention copies every
@@ -173,6 +187,7 @@ pub struct Database {
     pub(crate) log: Arc<LogManager>,
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) row_work_ns: u64,
+    pub(crate) backend: Box<dyn ConcurrencyBackend>,
     catalog: RwLock<HashMap<String, TableHandle>>,
     tables: RwLock<Vec<Arc<TableData>>>,
 }
@@ -188,11 +203,16 @@ impl Database {
     /// with the surviving device bytes so new appends continue the LSN
     /// sequence past the old tail).
     pub(crate) fn open_with_log(config: DatabaseConfig, log: LogManager) -> Arc<Database> {
+        let backend: Box<dyn ConcurrencyBackend> = match config.backend {
+            BackendKind::Locked2pl => Box::new(LockedBackend),
+            BackendKind::Mvcc => Box::new(MvccBackend::new(config.lock.max_agents, config.mvcc)),
+        };
         Arc::new(Database {
             lockmgr: LockManager::new(config.lock),
             log: Arc::new(log),
             pool: Arc::new(BufferPool::new(config.pool)),
             row_work_ns: config.row_work_ns,
+            backend,
             catalog: RwLock::new(HashMap::new()),
             tables: RwLock::new(Vec::new()),
         })
@@ -313,6 +333,32 @@ impl Database {
     /// The lock manager (for stats and advanced use).
     pub fn lock_manager(&self) -> &Arc<LockManager> {
         &self.lockmgr
+    }
+
+    /// Which concurrency backend this database runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Display name of the concurrency backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.kind().name()
+    }
+
+    /// Settle backend background state while no transaction is running.
+    /// On the MVCC backend this runs a full GC pass: version chains
+    /// collapse back into bare heap records and tombstoned rows release
+    /// their heap slots. Callers MUST guarantee no concurrent
+    /// transactions (see `sli_mvcc::MvccStore::gc`); use it before
+    /// whole-database comparisons like [`Database::state_hash`]. A no-op
+    /// on the locked backend.
+    pub fn quiesce(&self) {
+        self.backend.quiesce(self);
+    }
+
+    /// MVCC store counters (`None` on the locked backend).
+    pub fn mvcc_stats(&self) -> Option<MvccStats> {
+        self.backend.mvcc_store().map(|s| s.stats())
     }
 
     /// Display name of the active inheritance policy.

@@ -26,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod db;
 mod recovery;
 mod session;
 
+pub use backend::BackendKind;
 pub use db::{Database, DatabaseConfig, EngineError, TableHandle};
 pub use session::{Session, Txn, TxnError};
 
@@ -40,6 +42,7 @@ pub use sli_core::{
     AdaptivePolicy, LockId, LockLevel, LockManagerConfig, LockMode, LockPolicy, LockStatsSnapshot,
     PolicyKind, PolicyMap, ScopeStatsSnapshot, SliConfig, TableId,
 };
+pub use sli_mvcc::{MvccConfig, MvccStats};
 pub use sli_storage::{BufferPoolConfig, BufferPoolStats, Rid};
 pub use sli_wal::{
     DecodeEnd, FaultPlan, LogConfig, LogStats, RecoveryError, RecoveryReport, WalError,

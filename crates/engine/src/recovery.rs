@@ -163,6 +163,10 @@ impl Database {
         db.log.append(LogRecord::checkpoint(next_txn));
         db.log.force()?;
         db.lockmgr.advance_txn_floor(next_txn);
+        // The configured backend recovers too: a database reopened as MVCC
+        // must allocate commit timestamps (= WAL txn ids) above everything
+        // the replayed log used, no matter which backend wrote it.
+        db.backend.on_recovered(next_txn);
         Ok((db, report))
     }
 

@@ -22,13 +22,15 @@
 
 #![warn(missing_docs)]
 
+pub mod backend_matrix;
 pub mod driver;
 pub mod figures;
 pub mod setup;
 pub mod torture;
 pub mod traffic;
 
+pub use backend_matrix::{backend_matrix, BackendMatrixRow};
 pub use driver::{run_workload, sweep_agents, RunConfig, RunResult, Sweep, SweepStep};
-pub use setup::{env_u64, ExperimentScale};
+pub use setup::{env_backend, env_u64, ExperimentScale};
 pub use torture::{crash_torture, CrashFlavor, TortureSummary};
 pub use traffic::{EngineOpenLoop, TrafficKnobs, TrafficRow};

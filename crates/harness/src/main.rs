@@ -4,7 +4,7 @@
 //! sli-harness <experiment> [...]
 //!   experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //!                ablation-criteria bimodal roving-hotspot policy-matrix
-//!                latch-scaling grant-word traffic crash-torture all
+//!                latch-scaling grant-word backend-matrix traffic crash-torture all
 //! ```
 //!
 //! Scale with environment variables (see `sli-harness --help` or the crate
@@ -31,6 +31,9 @@ experiments:
   policy-map         scoped policies: per-table overrides + adaptive promote/demote (TPC-C)
   latch-scaling      oversubscription sweep: agents at 1x-8x cores, parking counters
   grant-word         latch-free compatible acquisitions: fast-path counters on TPC-B
+  backend-matrix     concurrency backends: 2PL (sli/baseline) vs MVCC on TPC-B,
+                     TPC-C Payment, and a reader-heavy TPC-B analytic mix;
+                     MVCC cells stat-asserted to issue zero lock requests
   traffic            open-loop rate ladder: arrival-driven load, windowed telemetry,
                      BENCH_*.json artifacts, knee where backlog diverges
   crash-torture      seeded crash points (kill/tear/fsync-fail) on TPC-B + TPC-C:
@@ -46,7 +49,9 @@ environment: SLI_MEASURE_MS (400) SLI_WARMUP_MS (200) SLI_MAX_AGENTS (nproc)
              SLI_TRAFFIC_WORKERS (min(4,nproc)) SLI_TRAFFIC_WINDOW_MS (500)
              SLI_BENCH_DIR (bench-artifacts; empty or 0 disables artifacts)
              SLI_TORTURE_POINTS (60/workload) SLI_TORTURE_AGENTS (3)
-             SLI_TORTURE_TXNS (30) SLI_TORTURE_SEED (0xC0FFEE)";
+             SLI_TORTURE_TXNS (30) SLI_TORTURE_SEED (0xC0FFEE)
+             SLI_BACKEND (locked; locked|2pl|mvcc|occ — concurrency backend)
+             SLI_MVCC_GC_EVERY (128; writer commits between GC prune passes)";
 
 fn run_one(name: &str, scale: &ExperimentScale) -> bool {
     match name {
@@ -95,6 +100,9 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
         "grant-word" => {
             figures::grant_word(scale);
         }
+        "backend-matrix" => {
+            sli_harness::backend_matrix::backend_matrix(scale);
+        }
         "traffic" => {
             sli_harness::traffic::traffic(scale);
         }
@@ -122,6 +130,7 @@ fn run_one(name: &str, scale: &ExperimentScale) -> bool {
                 "policy-map",
                 "latch-scaling",
                 "grant-word",
+                "backend-matrix",
                 "traffic",
                 "crash-torture",
             ] {

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sli_engine::{Database, DatabaseConfig};
+use sli_engine::{BackendKind, Database, DatabaseConfig};
 use sli_workloads::tm1::{Tm1, Tm1Txn};
 use sli_workloads::tpcb::TpcB;
 use sli_workloads::tpcc::{TpcC, TpcCScale, TpcCTxn};
@@ -129,6 +129,30 @@ pub fn db_config_for(policy: sli_engine::PolicyKind) -> DatabaseConfig {
     // `SLI_LOG_FLUSHER`) so experiments can sweep the ring and flusher
     // without recompiling.
     cfg.log = cfg.log.from_env();
+    // Concurrency backend (`SLI_BACKEND`: `locked`/`2pl` or `mvcc`) and
+    // MVCC GC cadence (`SLI_MVCC_GC_EVERY`).
+    cfg.backend = env_backend();
+    cfg.mvcc.gc_every = env_u64("SLI_MVCC_GC_EVERY", cfg.mvcc.gc_every);
+    cfg
+}
+
+/// The `SLI_BACKEND` knob (default: the locked backend). Panics on an
+/// unknown spelling so experiment drivers fail loudly, not silently on
+/// the wrong engine.
+pub fn env_backend() -> BackendKind {
+    match std::env::var("SLI_BACKEND") {
+        Ok(v) => BackendKind::parse(&v)
+            .unwrap_or_else(|| panic!("SLI_BACKEND={v:?} (expected locked|2pl|mvcc|occ)")),
+        Err(_) => BackendKind::default(),
+    }
+}
+
+/// Database config for an explicit backend choice (the `backend-matrix`
+/// experiment sweeps this): policy applies to the locked backend; on
+/// MVCC the lock manager sits idle and the policy is irrelevant.
+pub fn db_config_backend(policy: sli_engine::PolicyKind, backend: BackendKind) -> DatabaseConfig {
+    let mut cfg = db_config_for(policy);
+    cfg.backend = backend;
     cfg
 }
 

@@ -114,10 +114,21 @@ fn durable_config(
 ) -> DatabaseConfig {
     let mut cfg = DatabaseConfig::with_policy(policy).in_memory().durable();
     // Ring/flusher knobs apply (so torture can sweep `SLI_LOG_RING` etc.);
-    // the fault plan and latency stay point-controlled.
+    // the fault plan and latency stay point-controlled. The concurrency
+    // backend comes from `SLI_BACKEND`, so `SLI_BACKEND=mvcc` tortures
+    // the validate-at-commit path against the same crash matrix.
     cfg.log = cfg.log.from_env();
     cfg.log.fault = fault;
     cfg.log.flush_latency = flush_latency;
+    cfg.backend = crate::setup::env_backend();
+    cfg
+}
+
+/// Recovery-side config: same backend as the crashed instance, so the
+/// recovered database accepts new transactions on the engine under test.
+fn recovery_config() -> DatabaseConfig {
+    let mut cfg = DatabaseConfig::default().in_memory();
+    cfg.backend = crate::setup::env_backend();
     cfg
 }
 
@@ -257,7 +268,7 @@ fn run_point(point: &Point, agents: u64, txns: u64) -> Result<TortureSummary, St
     let cut = cut_for(point.flavor, &log, floor, &mut rng);
     drop(db);
 
-    let (rec, report) = Database::recover(DatabaseConfig::default().in_memory(), &log[..cut])
+    let (rec, report) = Database::recover(recovery_config(), &log[..cut])
         .map_err(|e| format!("recovery failed: {e}"))?;
 
     // The ring's hole discipline means a crash can tear at most the
@@ -295,7 +306,7 @@ fn run_point(point: &Point, agents: u64, txns: u64) -> Result<TortureSummary, St
     // Idempotence: recovering the recovered log is a no-op.
     let log2 = rec.durable_log();
     let hash1 = rec.state_hash();
-    let (rec2, report2) = Database::recover(DatabaseConfig::default().in_memory(), &log2)
+    let (rec2, report2) = Database::recover(recovery_config(), &log2)
         .map_err(|e| format!("second recovery failed: {e}"))?;
     if report2.undone != 0 {
         return Err(format!("second recovery undid {} txns", report2.undone));

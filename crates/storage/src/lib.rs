@@ -16,8 +16,10 @@ mod bufferpool;
 mod heap;
 mod index;
 mod page;
+mod version;
 
 pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
 pub use heap::HeapTable;
 pub use index::{HashIndex, OrderedIndex};
 pub use page::{Rid, SlottedPage, SLOTS_PER_PAGE};
+pub use version::{Observation, Provisional, Version, VersionChain, BASE_TS, NOTHING_SEEN};

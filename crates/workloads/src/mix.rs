@@ -25,10 +25,13 @@ impl Outcome {
         match r {
             Ok(_) => Outcome::Commit,
             Err(TxnError::UserAbort(_)) | Err(TxnError::NotFound) => Outcome::UserFail,
-            // A failed commit-time log force: the txn was never
-            // acknowledged, so it counts like a system abort (but it is
-            // NOT retryable — the log device is poisoned).
-            Err(TxnError::Lock(_)) | Err(TxnError::Durability(_)) => Outcome::SysAbort,
+            // Lock victims and MVCC validation losers are system aborts
+            // retried by harness policy. A failed commit-time log force
+            // counts the same way — the txn was never acknowledged — but
+            // is NOT retryable: the log device is poisoned.
+            Err(TxnError::Lock(_))
+            | Err(TxnError::Validation(_))
+            | Err(TxnError::Durability(_)) => Outcome::SysAbort,
         }
     }
 }

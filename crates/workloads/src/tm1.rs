@@ -105,7 +105,9 @@ fn complete(r: Result<bool, TxnError>) -> Outcome {
         Ok(true) => Outcome::Commit,
         Ok(false) => Outcome::UserFail,
         Err(TxnError::UserAbort(_)) | Err(TxnError::NotFound) => Outcome::UserFail,
-        Err(TxnError::Lock(_)) | Err(TxnError::Durability(_)) => Outcome::SysAbort,
+        Err(TxnError::Lock(_)) | Err(TxnError::Validation(_)) | Err(TxnError::Durability(_)) => {
+            Outcome::SysAbort
+        }
     }
 }
 

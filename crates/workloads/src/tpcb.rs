@@ -63,10 +63,12 @@ impl TpcB {
             history_seq: std::sync::atomic::AtomicU64::new(0),
         };
         for b in 1..=branches {
-            db.bulk_insert(t.branch, b, None, &balance_row(b, ROW_LEN));
+            // Branch and teller rows carry their id as the ordered
+            // secondary key so the branchAudit scan can range over them.
+            db.bulk_insert(t.branch, b, Some(b), &balance_row(b, ROW_LEN));
             for tl in 0..TELLERS_PER_BRANCH {
                 let tid = (b - 1) * TELLERS_PER_BRANCH + tl + 1;
-                db.bulk_insert(t.teller, tid, None, &balance_row(tid, ROW_LEN));
+                db.bulk_insert(t.teller, tid, Some(tid), &balance_row(tid, ROW_LEN));
             }
             for a in 0..accounts_per_branch {
                 let aid = (b - 1) * accounts_per_branch + a + 1;
@@ -143,6 +145,59 @@ impl TpcB {
                 weight: 1.0,
                 run: Box::new(move |s, rng| me.account_update(s, rng)),
             }],
+        )
+    }
+
+    /// The branch-audit transaction: a long read-only analytic scan over
+    /// every branch and teller balance that asserts the conservation
+    /// invariant *within one transaction* — sum(branch balances) ==
+    /// sum(teller balances). Any concurrency control that gives the
+    /// reader a consistent view (2PL via blocking/deadlock-retry, MVCC
+    /// via snapshots) commits it; an inconsistent cut rolls back as
+    /// `UserAbort("snapshot-inconsistent")`, which the harness counts as
+    /// a failure — making this transaction an online isolation check.
+    pub fn branch_audit(&self, s: &Session) -> Outcome {
+        let branches = self.branches;
+        let tellers = branches * TELLERS_PER_BRANCH;
+        Outcome::from_result(s.run(|txn| {
+            let mut bb = 0i64;
+            txn.scan_ordered(self.branch, 1, branches, branches as usize, |_, row| {
+                bb += get_i64(row, BALANCE_OFF);
+            })?;
+            let mut tb = 0i64;
+            txn.scan_ordered(self.teller, 1, tellers, tellers as usize, |_, row| {
+                tb += get_i64(row, BALANCE_OFF);
+            })?;
+            if bb != tb {
+                return Err(txn.user_abort("snapshot-inconsistent"));
+            }
+            Ok(())
+        }))
+    }
+
+    /// Reader-heavy analytic mix: mostly account updates with a steady
+    /// stream of long branch-audit scans riding along. On the locked
+    /// backend every audit S-locks the entire branch and teller tables
+    /// record by record (colliding with every writer); on the MVCC
+    /// backend it reads a snapshot and acquires no locks at all —
+    /// exactly the contrast the `backend-matrix` experiment measures.
+    pub fn analytic_workload(self: &Arc<Self>) -> MixedWorkload {
+        let upd = Arc::clone(self);
+        let aud = Arc::clone(self);
+        MixedWorkload::new(
+            "TPC-B analytic",
+            vec![
+                MixEntry {
+                    name: "accountUpdate",
+                    weight: 0.85,
+                    run: Box::new(move |s, rng| upd.account_update(s, rng)),
+                },
+                MixEntry {
+                    name: "branchAudit",
+                    weight: 0.15,
+                    run: Box::new(move |s, _| aud.branch_audit(s)),
+                },
+            ],
         )
     }
 
@@ -281,5 +336,47 @@ mod tests {
             db.record_count(db.table_handle("tpcb_history").unwrap()),
             total
         );
+    }
+
+    #[test]
+    fn branch_audit_sees_consistent_snapshots_under_concurrent_updates() {
+        use sli_engine::BackendKind;
+        for backend in [BackendKind::Locked2pl, BackendKind::Mvcc] {
+            let db = Database::open(DatabaseConfig::default().backend(backend).in_memory());
+            let b = TpcB::load(&db, 2, 50);
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let mut writers = Vec::new();
+            for t in 0..4u64 {
+                let db = Arc::clone(&db);
+                let b = Arc::clone(&b);
+                let stop = Arc::clone(&stop);
+                writers.push(std::thread::spawn(move || {
+                    let s = db.session();
+                    let mut rng = SmallRng::seed_from_u64(t);
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        b.account_update(&s, &mut rng);
+                    }
+                }));
+            }
+            let s = db.session();
+            let mut audits = 0;
+            let mut retries = 0;
+            while audits < 30 {
+                match b.branch_audit(&s) {
+                    Outcome::Commit => audits += 1,
+                    Outcome::SysAbort => retries += 1, // victim/validation loser
+                    Outcome::UserFail => {
+                        panic!("audit observed an inconsistent cut on {backend:?}")
+                    }
+                }
+                assert!(retries < 100_000, "audit never commits on {backend:?}");
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            for w in writers {
+                w.join().unwrap();
+            }
+            let (bb, tb, _) = b.balance_sums(&db);
+            assert_eq!(bb, tb);
+        }
     }
 }
